@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks for hashing, MinHash, and LSH (Sec 4.2).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mistique_dedup::{content_digest, discretize, xxhash64, LshIndex, MinHasher};
+
+fn bench_dedup(c: &mut Criterion) {
+    let data: Vec<u8> = (0..1 << 20).map(|i| (i % 251) as u8).collect();
+
+    let mut group = c.benchmark_group("dedup");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(20);
+    group.bench_function("xxhash64/1MiB", |b| {
+        b.iter(|| xxhash64(black_box(&data), 0))
+    });
+    group.bench_function("content_digest/1MiB", |b| {
+        b.iter(|| content_digest(black_box(&data)))
+    });
+    group.finish();
+
+    let values: Vec<f64> = (0..10_000).map(|i| (i as f64) * 0.37).collect();
+    let elements = discretize(&values, 0.05);
+    let hasher = MinHasher::new(128);
+
+    let mut group = c.benchmark_group("minhash");
+    group.sample_size(20);
+    group.bench_function("discretize/10k", |b| {
+        b.iter(|| discretize(black_box(&values), 0.05))
+    });
+    group.bench_function("signature/128x10k", |b| {
+        b.iter(|| hasher.signature(black_box(&elements)))
+    });
+    group.finish();
+
+    // LSH index with 1000 resident signatures.
+    let mut idx = LshIndex::new(32, 4);
+    for i in 0..1000u64 {
+        let set: Vec<u64> = (i * 13..i * 13 + 500).collect();
+        idx.insert(i, hasher.signature(&set));
+    }
+    let probe = hasher.signature(&(380u64 * 13..380 * 13 + 500).collect::<Vec<_>>());
+    let mut group = c.benchmark_group("lsh");
+    group.sample_size(20);
+    group.bench_function("query_best/1000_items", |b| {
+        b.iter(|| idx.query_best(black_box(&probe), 0.5))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dedup);
+criterion_main!(benches);

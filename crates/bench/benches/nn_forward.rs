@@ -1,0 +1,29 @@
+//! Criterion micro-benchmarks for the DNN forward path (the re-run cost).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mistique_nn::{simple_cnn, vgg16_cifar, CifarLike, Model};
+
+fn bench_forward(c: &mut Criterion) {
+    let data = CifarLike::generate(16, 10, 1);
+    let mut group = c.benchmark_group("nn_forward");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(16));
+
+    for (name, arch) in [
+        ("simple_cnn/16", simple_cnn(16)),
+        ("vgg16/16", vgg16_cifar(16)),
+    ] {
+        let model = Model::build(&arch, 1, 0);
+        let last = model.n_layers() - 1;
+        group.bench_function(format!("{name}/full"), |b| {
+            b.iter(|| model.forward_to_batched(black_box(&data.images), last, 16))
+        });
+        group.bench_function(format!("{name}/layer1"), |b| {
+            b.iter(|| model.forward_to_batched(black_box(&data.images), 0, 16))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward);
+criterion_main!(benches);

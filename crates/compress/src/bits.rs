@@ -1,0 +1,130 @@
+//! Bit-level reader/writer used by the XOR float codec.
+
+/// Append-only bit writer, MSB-first within each byte.
+#[derive(Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits used in the final byte (0 = byte boundary).
+    used: u32,
+}
+
+impl BitWriter {
+    /// Create an empty writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Write a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= 1 << (7 - self.used);
+        }
+        self.used = (self.used + 1) % 8;
+    }
+
+    /// Write the lowest `n` bits of `value`, most significant first.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        assert!(n <= 64);
+        for i in (0..n).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8
+            - if self.used == 0 {
+                0
+            } else {
+                (8 - self.used) as usize
+            }
+    }
+
+    /// Finish, returning the packed bytes (final byte zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Sequential bit reader matching [`BitWriter`]'s layout.
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from packed bytes.
+    pub fn new(bytes: &'a [u8]) -> BitReader<'a> {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Read one bit; `None` at end of input.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<bool> {
+        let byte = *self.bytes.get(self.pos / 8)?;
+        let bit = (byte >> (7 - (self.pos % 8) as u32)) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Read `n` bits as the low bits of a u64, most significant first.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Option<u64> {
+        assert!(n <= 64);
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        w.write_bits(0b1011, 4);
+        w.write_bits(0xdead_beef, 32);
+        w.write_bits(0, 7);
+        w.write_bit(false);
+        let bits = w.bit_len();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bit(), Some(true));
+        assert_eq!(r.read_bits(4), Some(0b1011));
+        assert_eq!(r.read_bits(32), Some(0xdead_beef));
+        assert_eq!(r.read_bits(7), Some(0));
+        assert_eq!(r.read_bit(), Some(false));
+        assert_eq!(bits, 45);
+    }
+
+    #[test]
+    fn read_past_end_is_none() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        // Padding bits still readable within the final byte...
+        assert!(r.read_bits(5).is_some());
+        // ...but not beyond it.
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    fn empty_writer() {
+        let w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.into_bytes().is_empty());
+    }
+}

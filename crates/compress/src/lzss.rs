@@ -1,0 +1,238 @@
+//! LZSS: sliding-window dictionary compression (the LZ77 family used by
+//! gzip's DEFLATE stage).
+//!
+//! The DataStore concatenates similar ColumnChunks into one Partition before
+//! compressing; because LZSS match offsets can reach back across chunk
+//! boundaries (up to [`WINDOW`] bytes), redundancy *between* chunks is removed
+//! — this is the mechanism behind the paper's similarity-based compression and
+//! the Fig 14 microbenchmark.
+//!
+//! Format: groups of up to 8 tokens preceded by a flag byte (bit set = match).
+//! A literal token is one raw byte. A match token is `(u16 LE distance-1,
+//! u8 length-MIN_MATCH)`.
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = MIN_MATCH + 255;
+/// Sliding-window size: how far back matches may reach.
+pub const WINDOW: usize = 1 << 16;
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+const MAX_CHAIN: usize = 48;
+const NO_POS: u32 = u32::MAX;
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `input` with LZSS.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    if input.is_empty() {
+        return out;
+    }
+
+    // Hash-chain match finder: head[h] is the most recent position with hash h;
+    // prev[pos % WINDOW] chains to the previous position with the same hash.
+    let mut head = vec![NO_POS; HASH_SIZE];
+    let mut prev = vec![NO_POS; WINDOW];
+
+    let mut flags_at = out.len();
+    out.push(0);
+    let mut ntokens = 0u8;
+
+    let mut i = 0;
+    while i < input.len() {
+        if ntokens == 8 {
+            flags_at = out.len();
+            out.push(0);
+            ntokens = 0;
+        }
+
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= input.len() {
+            let h = hash4(input, i);
+            let mut cand = head[h];
+            let mut chain = 0;
+            while cand != NO_POS && chain < MAX_CHAIN {
+                let c = cand as usize;
+                if i - c > WINDOW - 1 {
+                    break;
+                }
+                let limit = (input.len() - i).min(MAX_MATCH);
+                let mut l = 0;
+                while l < limit && input[c + l] == input[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - c;
+                    if l == limit {
+                        break;
+                    }
+                }
+                cand = prev[c % WINDOW];
+                chain += 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            out[flags_at] |= 1 << ntokens;
+            let d = (best_dist - 1) as u16;
+            out.extend_from_slice(&d.to_le_bytes());
+            out.push((best_len - MIN_MATCH) as u8);
+            // Insert hash entries for every position covered by the match so
+            // later data can match into it.
+            let end = i + best_len;
+            while i < end {
+                if i + MIN_MATCH <= input.len() {
+                    let h = hash4(input, i);
+                    prev[i % WINDOW] = head[h];
+                    head[h] = i as u32;
+                }
+                i += 1;
+            }
+        } else {
+            out.push(input[i]);
+            if i + MIN_MATCH <= input.len() {
+                let h = hash4(input, i);
+                prev[i % WINDOW] = head[h];
+                head[h] = i as u32;
+            }
+            i += 1;
+        }
+        ntokens += 1;
+    }
+    out
+}
+
+/// Decompress an LZSS stream produced by [`compress`].
+/// Returns `None` on malformed input.
+pub fn decompress(input: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(input.len() * 2);
+    let mut pos = 0;
+    while pos < input.len() {
+        let flags = input[pos];
+        pos += 1;
+        for bit in 0..8 {
+            if pos >= input.len() {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                let d0 = *input.get(pos)?;
+                let d1 = *input.get(pos + 1)?;
+                let l = *input.get(pos + 2)?;
+                pos += 3;
+                let dist = u16::from_le_bytes([d0, d1]) as usize + 1;
+                let len = l as usize + MIN_MATCH;
+                if dist > out.len() {
+                    return None;
+                }
+                let start = out.len() - dist;
+                // Byte-by-byte copy: matches may overlap their own output.
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            } else {
+                out.push(input[pos]);
+                pos += 1;
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        assert_eq!(decompress(&compress(&[])), Some(vec![]));
+    }
+
+    #[test]
+    fn short_input_roundtrip() {
+        for len in 1..16 {
+            let input: Vec<u8> = (0..len as u8).collect();
+            assert_eq!(decompress(&compress(&input)), Some(input));
+        }
+    }
+
+    #[test]
+    fn repetitive_text_compresses() {
+        let input = b"the quick brown fox jumps over the lazy dog. "
+            .iter()
+            .cycle()
+            .take(10_000)
+            .copied()
+            .collect::<Vec<u8>>();
+        let c = compress(&input);
+        assert!(
+            c.len() < input.len() / 5,
+            "got {} of {}",
+            c.len(),
+            input.len()
+        );
+        assert_eq!(decompress(&c), Some(input));
+    }
+
+    #[test]
+    fn overlapping_match_roundtrip() {
+        // "aaaa..." forces self-overlapping matches.
+        let input = vec![b'a'; 1000];
+        let c = compress(&input);
+        assert!(c.len() < 32);
+        assert_eq!(decompress(&c), Some(input));
+    }
+
+    #[test]
+    fn incompressible_data_roundtrips() {
+        // Pseudo-random bytes: no matches, slight expansion from flag bytes.
+        let mut state = 0x12345678u64;
+        let input: Vec<u8> = (0..4096)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 56) as u8
+            })
+            .collect();
+        let c = compress(&input);
+        assert!(c.len() <= input.len() + input.len() / 8 + 2);
+        assert_eq!(decompress(&c), Some(input));
+    }
+
+    #[test]
+    fn duplicated_block_compresses_to_half() {
+        // Two identical 8 KiB blocks back to back: the second should be
+        // almost free — the cross-chunk dedup effect inside a Partition.
+        let mut state = 7u64;
+        let block: Vec<u8> = (0..8192)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
+                (state >> 33) as u8
+            })
+            .collect();
+        let mut input = block.clone();
+        input.extend_from_slice(&block);
+        let c = compress(&input);
+        assert!(
+            c.len() < block.len() + block.len() / 4,
+            "expected second copy nearly free, got {} for {} raw",
+            c.len(),
+            input.len()
+        );
+        assert_eq!(decompress(&c), Some(input));
+    }
+
+    #[test]
+    fn corrupt_distance_rejected() {
+        // A match that reaches before the start of output must be rejected.
+        let bad = vec![0b0000_0001, 0xff, 0xff, 0x00];
+        assert_eq!(decompress(&bad), None);
+    }
+}

@@ -1,0 +1,88 @@
+//! Byte-level run-length encoding.
+//!
+//! Encodes as a sequence of `(varint run_length, byte)` pairs. Hugely effective
+//! on THRESHOLD_QT binarized data and constant columns; harmless elsewhere
+//! because the `Auto` frame only keeps it when it wins.
+
+use crate::varint;
+
+/// Run-length encode `input`.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 4 + 8);
+    let mut i = 0;
+    while i < input.len() {
+        let byte = input[i];
+        let mut run = 1usize;
+        while i + run < input.len() && input[i + run] == byte {
+            run += 1;
+        }
+        varint::write_u64(&mut out, run as u64);
+        out.push(byte);
+        i += run;
+    }
+    out
+}
+
+/// Upper bound on decoded output, guarding against corrupt headers that
+/// declare absurd run lengths (a huge `Vec` reservation would abort the
+/// process via `handle_alloc_error` instead of returning an error).
+const MAX_DECODED: usize = 1 << 31;
+
+/// Decode a run-length stream produced by [`compress`].
+/// Returns `None` on malformed input.
+pub fn decompress(input: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < input.len() {
+        let run = varint::read_u64(input, &mut pos)? as usize;
+        let byte = *input.get(pos)?;
+        pos += 1;
+        if run == 0 || out.len().checked_add(run)? > MAX_DECODED {
+            return None; // zero runs never produced; oversized = corrupt
+        }
+        out.resize(out.len() + run, byte);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        assert_eq!(decompress(&compress(&[])), Some(vec![]));
+    }
+
+    #[test]
+    fn constant_data_compresses_massively() {
+        let input = vec![7u8; 100_000];
+        let c = compress(&input);
+        assert!(
+            c.len() < 8,
+            "constant run should be a few bytes, got {}",
+            c.len()
+        );
+        assert_eq!(decompress(&c), Some(input));
+    }
+
+    #[test]
+    fn alternating_data_roundtrips() {
+        let input: Vec<u8> = (0..1000).map(|i| (i % 2) as u8).collect();
+        let c = compress(&input);
+        assert_eq!(decompress(&c), Some(input));
+    }
+
+    #[test]
+    fn arbitrary_bytes_roundtrip() {
+        let input: Vec<u8> = (0..=255).cycle().take(5000).collect();
+        assert_eq!(decompress(&compress(&input)), Some(input));
+    }
+
+    #[test]
+    fn malformed_truncated_input_rejected() {
+        let mut c = compress(&[1, 1, 1, 2]);
+        c.pop(); // drop final byte
+        assert_eq!(decompress(&c), None);
+    }
+}

@@ -1,0 +1,59 @@
+//! Property tests: every codec must be lossless on arbitrary byte strings.
+
+use mistique_compress::{compress, compress_auto, decompress, Scheme};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn lzss_roundtrip(input in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let frame = compress(&input, Scheme::Lzss);
+        prop_assert_eq!(decompress(&frame).unwrap(), input);
+    }
+
+    #[test]
+    fn rle_roundtrip(input in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let frame = compress(&input, Scheme::Rle);
+        prop_assert_eq!(decompress(&frame).unwrap(), input);
+    }
+
+    #[test]
+    fn auto_roundtrip(input in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let frame = compress_auto(&input);
+        prop_assert_eq!(decompress(&frame).unwrap(), input);
+    }
+
+    #[test]
+    fn delta_roundtrip(words in proptest::collection::vec(any::<u32>(), 0..2048)) {
+        let input: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let frame = compress(&input, Scheme::Delta4);
+        prop_assert_eq!(decompress(&frame).unwrap(), input);
+    }
+
+    // Runs of repeated blocks stress the overlapping-match path in LZSS.
+    #[test]
+    fn lzss_repeated_blocks(block in proptest::collection::vec(any::<u8>(), 1..256),
+                            reps in 1usize..64) {
+        let input: Vec<u8> = block.iter().cycle().take(block.len() * reps).copied().collect();
+        let frame = compress(&input, Scheme::Lzss);
+        prop_assert_eq!(decompress(&frame).unwrap(), input);
+    }
+
+    #[test]
+    fn xorf_roundtrip(words in proptest::collection::vec(any::<u32>(), 0..2048)) {
+        let input: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let frame = compress(&input, Scheme::XorF32);
+        prop_assert_eq!(decompress(&frame).unwrap(), input);
+    }
+
+    #[test]
+    fn auto_extended_roundtrip(input in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let frame = mistique_compress::compress_auto_extended(&input);
+        prop_assert_eq!(decompress(&frame).unwrap(), input);
+    }
+
+    // Decoding must never panic on garbage, only return an error.
+    #[test]
+    fn decompress_never_panics(garbage in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decompress(&garbage);
+    }
+}

@@ -1,0 +1,165 @@
+//! `mistique` — inspect and query a persisted MISTIQUE store.
+//!
+//! ```sh
+//! mistique demo  <dir>                       # build a small demo store
+//! mistique info  <dir>                       # models, intermediates, storage
+//! mistique show  <dir> <intermediate>        # schema + stats of one intermediate
+//! mistique head  <dir> <intermediate> [n]    # first n rows
+//! mistique topk  <dir> <intermediate> <column> [k]
+//! mistique hist  <dir> <intermediate> <column> [buckets]
+//! ```
+//!
+//! Works on any directory produced by `Mistique::persist()`; only reads are
+//! available (re-running needs the executable model, see `persist` docs).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use mistique_core::{FetchStrategy, Mistique, MistiqueConfig};
+use mistique_pipeline::templates::zillow_pipelines;
+use mistique_pipeline::ZillowData;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mistique <demo|info|show|head|topk|hist> <dir> [args...]\n\
+         run `mistique demo /tmp/mq && mistique info /tmp/mq` to try it"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => return usage(),
+    };
+    let Some(dir) = rest.first() else {
+        return usage();
+    };
+
+    match run(cmd, dir, &rest[1..]) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn open(dir: &str) -> Result<Mistique, Box<dyn std::error::Error>> {
+    Ok(Mistique::reopen(dir, MistiqueConfig::default())?)
+}
+
+fn run(cmd: &str, dir: &str, rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    match cmd {
+        "demo" => {
+            std::fs::create_dir_all(dir)?;
+            let mut sys = Mistique::open(dir, MistiqueConfig::default())?;
+            let data = Arc::new(ZillowData::generate(2_000, 42));
+            for p in zillow_pipelines().into_iter().take(2) {
+                let id = sys.register_trad(p, Arc::clone(&data))?;
+                sys.log_intermediates(&id)?;
+                println!("logged {id}");
+            }
+            sys.persist()?;
+            println!("persisted demo store at {dir}");
+        }
+        "info" => {
+            let sys = open(dir)?;
+            let stats = sys.store().stats();
+            println!("store: {dir}");
+            println!("  disk bytes     : {}", sys.store().disk_bytes()?);
+            println!("  chunks stored  : {}", stats.chunks_stored);
+            println!("  dedup hits     : {}", stats.dedup_hits);
+            println!(
+                "  dedup ratio    : {:.2}x",
+                stats.logical_bytes as f64 / stats.unique_bytes.max(1) as f64
+            );
+            for model in sys.model_ids() {
+                let m = sys.metadata().model(&model).unwrap();
+                println!(
+                    "model {model} ({:?}, {} stages, {} examples)",
+                    m.kind, m.n_stages, m.n_examples
+                );
+                for i in sys.metadata().intermediates_of(&model) {
+                    println!(
+                        "  {:<44} {:>6} rows x {:>4} cols  {:>10} B  {}  q={}",
+                        i.id,
+                        i.n_rows,
+                        i.columns.len(),
+                        i.stored_bytes,
+                        if i.materialized { "stored" } else { "virtual" },
+                        i.n_queries
+                    );
+                }
+            }
+        }
+        "show" => {
+            let interm = rest.first().ok_or("missing intermediate id")?;
+            let sys = open(dir)?;
+            let m = sys
+                .metadata()
+                .intermediate(interm)
+                .ok_or_else(|| format!("no intermediate {interm}"))?;
+            println!("{}", m.id);
+            println!("  model        : {}", m.model_id);
+            println!("  stage        : {}", m.stage_index);
+            println!("  rows         : {}", m.n_rows);
+            println!("  scheme       : {}", m.scheme.name());
+            println!("  materialized : {}", m.materialized);
+            println!("  stored bytes : {}", m.stored_bytes);
+            println!(
+                "  exec time    : {:?} (cumulative {:?})",
+                m.exec_time, m.cum_exec_time
+            );
+            if let Some((c, h, w)) = m.shape {
+                println!("  shape        : {c} x {h} x {w}");
+            }
+            println!("  columns ({}) : {}", m.columns.len(), m.columns.join(", "));
+        }
+        "head" => {
+            let interm = rest.first().ok_or("missing intermediate id")?;
+            let n: usize = rest.get(1).map(|s| s.parse()).transpose()?.unwrap_or(5);
+            let mut sys = open(dir)?;
+            let r = sys.fetch_with_strategy(interm, None, Some(n), FetchStrategy::Read)?;
+            let names = r.frame.column_names().join("\t");
+            println!("{names}");
+            let cols: Vec<Vec<f64>> = r.frame.columns().iter().map(|c| c.data.to_f64()).collect();
+            for row in 0..r.frame.n_rows() {
+                let cells: Vec<String> = cols.iter().map(|c| format!("{:.4}", c[row])).collect();
+                println!("{}", cells.join("\t"));
+            }
+        }
+        "topk" => {
+            let interm = rest.first().ok_or("missing intermediate id")?;
+            let column = rest.get(1).ok_or("missing column")?;
+            let k: usize = rest.get(2).map(|s| s.parse()).transpose()?.unwrap_or(10);
+            let mut sys = open(dir)?;
+            for (row, value) in sys.topk(interm, column, k)? {
+                println!("{row}\t{value:.6}");
+            }
+        }
+        "hist" => {
+            let interm = rest.first().ok_or("missing intermediate id")?;
+            let column = rest.get(1).ok_or("missing column")?;
+            let buckets: usize = rest.get(2).map(|s| s.parse()).transpose()?.unwrap_or(10);
+            let mut sys = open(dir)?;
+            let hist = sys.col_dist(interm, column, buckets)?;
+            let max = hist.iter().map(|b| b.count).max().unwrap_or(1).max(1);
+            for b in hist {
+                println!(
+                    "[{:>12.4}, {:>12.4})  {:>7}  {}",
+                    b.lo,
+                    b.hi,
+                    b.count,
+                    "#".repeat(b.count * 50 / max)
+                );
+            }
+        }
+        _ => {
+            usage();
+            return Err(format!("unknown command {cmd}").into());
+        }
+    }
+    Ok(())
+}

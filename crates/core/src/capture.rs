@@ -1,0 +1,346 @@
+//! Capture-time transformation of intermediates: pooling summarization and
+//! value quantization (Sec 4.1), applied before chunks reach the DataStore.
+
+use mistique_dataframe::{Column, ColumnData, DataFrame};
+use mistique_quantize::half::encode_f16;
+use mistique_quantize::pool::pool_channels;
+use mistique_quantize::{KbitQuantizer, PoolKind, ThresholdQuantizer};
+
+/// Per-value storage scheme for captured activations.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ValueScheme {
+    /// Full precision f32.
+    Full,
+    /// LP_QT: binary16 storage.
+    Lp,
+    /// KBIT_QT: `2^bits` quantile bins, fitted per intermediate.
+    Kbit {
+        /// Bits per code (paper default 8).
+        bits: u32,
+    },
+    /// THRESHOLD_QT: binarize at the given percentile.
+    Threshold {
+        /// Percentile for the threshold (NetDissect: 0.995).
+        pct: f64,
+    },
+}
+
+impl ValueScheme {
+    /// Scheme name as used in the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            ValueScheme::Full => "FULL".into(),
+            ValueScheme::Lp => "LP_QT".into(),
+            ValueScheme::Kbit { bits } => format!("{bits}BIT_QT"),
+            ValueScheme::Threshold { .. } => "THRESHOLD_QT".into(),
+        }
+    }
+
+    /// Bytes per stored value (bit-level schemes round up per value for the
+    /// cost model; actual chunk packing is byte-exact).
+    pub fn bytes_per_value(&self) -> f64 {
+        match self {
+            ValueScheme::Full => 4.0,
+            ValueScheme::Lp => 2.0,
+            ValueScheme::Kbit { .. } => 1.0,
+            ValueScheme::Threshold { .. } => 1.0 / 8.0,
+        }
+    }
+}
+
+/// The full capture configuration for one intermediate: optional pooling
+/// summarization plus the value scheme.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CaptureScheme {
+    /// Value quantization.
+    pub value: ValueScheme,
+    /// POOL_QT window σ (None = no pooling; paper default σ=2 for DNNs).
+    pub pool_sigma: Option<usize>,
+}
+
+impl CaptureScheme {
+    /// Full precision, no pooling — what TRAD intermediates use.
+    pub fn full() -> CaptureScheme {
+        CaptureScheme {
+            value: ValueScheme::Full,
+            pool_sigma: None,
+        }
+    }
+
+    /// The paper's default DNN scheme: pool(2) over full-precision values.
+    pub fn pool2() -> CaptureScheme {
+        CaptureScheme {
+            value: ValueScheme::Full,
+            pool_sigma: Some(2),
+        }
+    }
+
+    /// Display name, e.g. `POOL_QT(2)+FULL`.
+    pub fn name(&self) -> String {
+        match self.pool_sigma {
+            Some(s) => format!("POOL_QT({s})+{}", self.value.name()),
+            None => self.value.name(),
+        }
+    }
+}
+
+/// Result of capturing one activation tensor batch: the encoded dataframe
+/// plus the fitted quantization state needed to decode it later.
+pub struct CapturedBatch {
+    /// Encoded dataframe (columns `n0..nK` after pooling).
+    pub frame: DataFrame,
+    /// Serialized KBIT quantizer, present the first time a KBIT intermediate
+    /// is captured (fitted on this batch, reused for later batches).
+    pub quantizer: Option<Vec<u8>>,
+    /// Threshold value, present for THRESHOLD_QT.
+    pub threshold: Option<f32>,
+}
+
+/// Pool a batch of per-example activation values laid out as
+/// `channels x h x w` per example, returning pooled per-example values and
+/// the pooled feature count.
+pub fn pool_batch(
+    examples: &[Vec<f32>],
+    channels: usize,
+    h: usize,
+    w: usize,
+    sigma: usize,
+) -> (Vec<Vec<f32>>, usize) {
+    let mut pooled = Vec::with_capacity(examples.len());
+    let mut out_features = 0;
+    for ex in examples {
+        let (p, (oh, ow)) = pool_channels(ex, channels, h, w, sigma, PoolKind::Avg);
+        out_features = channels * oh * ow;
+        pooled.push(p);
+    }
+    (pooled, out_features)
+}
+
+/// Encode a batch of per-example feature vectors into a dataframe under the
+/// given value scheme. For KBIT, `existing_quantizer` (serialized) is reused
+/// when present; otherwise a quantizer is fitted on this batch's values and
+/// returned. For THRESHOLD, `existing_threshold` works the same way.
+pub fn encode_batch(
+    examples: &[Vec<f32>],
+    n_features: usize,
+    scheme: ValueScheme,
+    existing_quantizer: Option<&[u8]>,
+    existing_threshold: Option<f32>,
+) -> CapturedBatch {
+    let n = examples.len();
+    let col_values = |j: usize| -> Vec<f32> { examples.iter().map(|ex| ex[j]).collect() };
+
+    match scheme {
+        ValueScheme::Full => {
+            let cols = (0..n_features)
+                .map(|j| Column::new(format!("n{j}"), ColumnData::F32(col_values(j))))
+                .collect();
+            CapturedBatch {
+                frame: DataFrame::from_columns(cols),
+                quantizer: None,
+                threshold: None,
+            }
+        }
+        ValueScheme::Lp => {
+            let cols = (0..n_features)
+                .map(|j| {
+                    let vals = col_values(j);
+                    let bytes = encode_f16(&vals);
+                    let bits: Vec<u16> = bytes
+                        .chunks_exact(2)
+                        .map(|c| u16::from_le_bytes([c[0], c[1]]))
+                        .collect();
+                    Column::new(format!("n{j}"), ColumnData::F16(bits))
+                })
+                .collect();
+            CapturedBatch {
+                frame: DataFrame::from_columns(cols),
+                quantizer: None,
+                threshold: None,
+            }
+        }
+        ValueScheme::Kbit { bits } => {
+            let q = match existing_quantizer {
+                Some(bytes) => KbitQuantizer::from_bytes(bytes).expect("valid quantizer"),
+                None => {
+                    // Fit on this batch's pooled sample (the paper: "first
+                    // collect samples of activations to build a distribution").
+                    let mut sample: Vec<f32> = Vec::with_capacity(n * n_features.min(64));
+                    for ex in examples {
+                        sample.extend_from_slice(ex);
+                    }
+                    if sample.is_empty() {
+                        sample.push(0.0);
+                    }
+                    KbitQuantizer::fit(&sample, bits)
+                }
+            };
+            let cols = (0..n_features)
+                .map(|j| {
+                    let codes = q.encode_codes(&col_values(j));
+                    Column::new(format!("n{j}"), ColumnData::U8(codes))
+                })
+                .collect();
+            let ser = if existing_quantizer.is_none() {
+                Some(q.to_bytes())
+            } else {
+                None
+            };
+            CapturedBatch {
+                frame: DataFrame::from_columns(cols),
+                quantizer: ser,
+                threshold: None,
+            }
+        }
+        ValueScheme::Threshold { pct } => {
+            let t = match existing_threshold {
+                Some(t) => t,
+                None => {
+                    let mut sample: Vec<f32> = Vec::new();
+                    for ex in examples {
+                        sample.extend_from_slice(ex);
+                    }
+                    if sample.is_empty() {
+                        0.0
+                    } else {
+                        ThresholdQuantizer::fit(&sample, pct).threshold()
+                    }
+                }
+            };
+            let cols = (0..n_features)
+                .map(|j| {
+                    let flags: Vec<bool> = col_values(j).iter().map(|&v| v > t).collect();
+                    Column::new(format!("n{j}"), ColumnData::Bool(flags))
+                })
+                .collect();
+            let ser_t = if existing_threshold.is_none() {
+                Some(t)
+            } else {
+                None
+            };
+            CapturedBatch {
+                frame: DataFrame::from_columns(cols),
+                quantizer: None,
+                threshold: ser_t,
+            }
+        }
+    }
+}
+
+/// Decode a stored (possibly quantized) column back to f64 values,
+/// reconstructing KBIT codes through the stored quantizer — the paper's
+/// "reconstruction cost" of 8BIT_QT reads.
+pub fn decode_column(data: &ColumnData, scheme: ValueScheme, quantizer: Option<&[u8]>) -> Vec<f64> {
+    match (scheme, data) {
+        (ValueScheme::Kbit { .. }, ColumnData::U8(codes)) => {
+            let q = quantizer
+                .and_then(KbitQuantizer::from_bytes)
+                .expect("KBIT intermediate requires its quantizer");
+            codes.iter().map(|&c| q.value_of(c) as f64).collect()
+        }
+        // FULL / LP / THRESHOLD decode through the dataframe conversions
+        // (f16 → f32 happens inside `to_f64`).
+        (_, other) => other.to_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(n: usize, f: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| (0..f).map(|j| ((i * f + j) % 100) as f32 / 10.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn full_scheme_is_lossless() {
+        let ex = batch(10, 4);
+        let cap = encode_batch(&ex, 4, ValueScheme::Full, None, None);
+        assert_eq!(cap.frame.n_rows(), 10);
+        assert_eq!(cap.frame.n_cols(), 4);
+        let col0 = cap.frame.column("n0").unwrap();
+        let dec = decode_column(&col0.data, ValueScheme::Full, None);
+        assert_eq!(dec[1], ex[1][0] as f64);
+    }
+
+    #[test]
+    fn lp_scheme_stores_f16() {
+        let ex = batch(8, 3);
+        let cap = encode_batch(&ex, 3, ValueScheme::Lp, None, None);
+        let col = cap.frame.column("n1").unwrap();
+        assert!(matches!(col.data, ColumnData::F16(_)));
+        let dec = decode_column(&col.data, ValueScheme::Lp, None);
+        for (i, d) in dec.iter().enumerate() {
+            let orig = ex[i][1] as f64;
+            assert!((d - orig).abs() <= orig.abs() * 1e-3 + 1e-3);
+        }
+    }
+
+    #[test]
+    fn kbit_fits_then_reuses_quantizer() {
+        let ex = batch(50, 4);
+        let first = encode_batch(&ex, 4, ValueScheme::Kbit { bits: 8 }, None, None);
+        let qbytes = first.quantizer.expect("first batch fits a quantizer");
+        let second = encode_batch(&ex, 4, ValueScheme::Kbit { bits: 8 }, Some(&qbytes), None);
+        assert!(
+            second.quantizer.is_none(),
+            "reused quantizer is not re-emitted"
+        );
+        assert_eq!(first.frame, second.frame, "same quantizer, same codes");
+        // Decode error bounded.
+        let dec = decode_column(
+            &first.frame.column("n2").unwrap().data,
+            ValueScheme::Kbit { bits: 8 },
+            Some(&qbytes),
+        );
+        for (i, d) in dec.iter().enumerate() {
+            assert!((d - ex[i][2] as f64).abs() < 0.5, "row {i}");
+        }
+    }
+
+    #[test]
+    fn threshold_binarizes_against_fitted_threshold() {
+        let ex = batch(100, 2);
+        let cap = encode_batch(&ex, 2, ValueScheme::Threshold { pct: 0.9 }, None, None);
+        let t = cap.threshold.expect("fitted threshold");
+        assert!(t > 0.0);
+        let col = cap.frame.column("n0").unwrap();
+        assert!(matches!(col.data, ColumnData::Bool(_)));
+        let dec = decode_column(&col.data, ValueScheme::Threshold { pct: 0.9 }, None);
+        assert!(dec.iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn pooling_reduces_feature_count() {
+        // 2 channels of 4x4 = 32 features -> sigma 2 -> 2 channels of 2x2 = 8.
+        let examples: Vec<Vec<f32>> = (0..3).map(|i| vec![i as f32; 32]).collect();
+        let (pooled, f) = pool_batch(&examples, 2, 4, 4, 2);
+        assert_eq!(f, 8);
+        assert_eq!(pooled[1], vec![1.0; 8]);
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(CaptureScheme::pool2().name(), "POOL_QT(2)+FULL");
+        assert_eq!(CaptureScheme::full().name(), "FULL");
+        let k = CaptureScheme {
+            value: ValueScheme::Kbit { bits: 8 },
+            pool_sigma: None,
+        };
+        assert_eq!(k.name(), "8BIT_QT");
+    }
+
+    #[test]
+    fn bytes_per_value_ordering() {
+        assert!(ValueScheme::Full.bytes_per_value() > ValueScheme::Lp.bytes_per_value());
+        assert!(
+            ValueScheme::Lp.bytes_per_value() > ValueScheme::Kbit { bits: 8 }.bytes_per_value()
+        );
+        assert!(
+            ValueScheme::Kbit { bits: 8 }.bytes_per_value()
+                > ValueScheme::Threshold { pct: 0.995 }.bytes_per_value()
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! The cost model (Sec 5): when to re-run a model vs read a stored
+//! intermediate (Eq 1–4), and when to materialize (Eq 5's γ).
+
+use std::time::Duration;
+
+use crate::capture::ValueScheme;
+use crate::metadata::{IntermediateMeta, ModelKind, ModelMeta};
+
+/// Cost-model parameters. Read bandwidth is calibrated online from observed
+/// reads (an exponentially-weighted moving average), so the model's
+/// predictions track the machine it runs on — this is what Fig 8b validates
+/// against Fig 8a.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// Effective bytes/second for reading + decompressing stored chunks
+    /// (`rho_d` in Eq 4).
+    pub read_bandwidth: f64,
+    /// Extra per-value reconstruction factor for KBIT reads (code →
+    /// representative lookup); the paper observes 8BIT_QT reads are the
+    /// slowest for this reason.
+    pub kbit_recon_factor: f64,
+    /// EWMA smoothing for calibration updates, in `(0, 1]`.
+    pub ewma_alpha: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            read_bandwidth: 400.0 * 1024.0 * 1024.0, // pre-calibration guess
+            kbit_recon_factor: 3.0,
+            ewma_alpha: 0.3,
+        }
+    }
+}
+
+impl CostModel {
+    /// Predicted seconds to read `n_ex` rows of an intermediate (Eq 4):
+    /// `n_ex * sizeof(ex) / rho_d`, with the KBIT reconstruction factor
+    /// folded into the constant.
+    pub fn t_read(&self, meta: &IntermediateMeta, n_ex: usize) -> f64 {
+        let bytes = meta.bytes_per_row() * n_ex as f64;
+        let factor = match meta.scheme.value {
+            ValueScheme::Kbit { .. } => self.kbit_recon_factor,
+            _ => 1.0,
+        };
+        bytes * factor / self.read_bandwidth
+    }
+
+    /// Predicted seconds to re-run the model up to this intermediate for
+    /// `n_ex` examples (Eq 2/3). For TRAD models the pipeline always runs
+    /// over its full tables, so `n_ex` is ignored; for DNNs the measured
+    /// cumulative forward time scales linearly in `n_ex` plus the fixed
+    /// model-load cost.
+    pub fn t_rerun(&self, model: &ModelMeta, meta: &IntermediateMeta, n_ex: usize) -> f64 {
+        let cum = meta.cum_exec_time.as_secs_f64();
+        match model.kind {
+            ModelKind::Trad => model.model_load.as_secs_f64() + cum,
+            ModelKind::Dnn => {
+                let per_ex = if model.n_examples > 0 {
+                    cum / model.n_examples as f64
+                } else {
+                    0.0
+                };
+                model.model_load.as_secs_f64() + per_ex * n_ex as f64
+            }
+        }
+    }
+
+    /// The read-vs-rerun decision (Sec 5.1): read iff `t_rerun >= t_read`.
+    pub fn should_read(&self, model: &ModelMeta, meta: &IntermediateMeta, n_ex: usize) -> bool {
+        self.t_rerun(model, meta, n_ex) >= self.t_read(meta, n_ex)
+    }
+
+    /// γ (Eq 5): query seconds saved per byte of storage if this
+    /// intermediate is (or stays) materialized, given its query count.
+    /// Computed at `n_ex = TOTAL_EXAMPLES` as the paper specifies.
+    pub fn gamma(&self, model: &ModelMeta, meta: &IntermediateMeta, stored_bytes: u64) -> f64 {
+        if stored_bytes == 0 {
+            return 0.0;
+        }
+        let n_ex = model.n_examples;
+        let saving = self.t_rerun(model, meta, n_ex) - self.t_read(meta, n_ex);
+        if saving <= 0.0 {
+            return 0.0;
+        }
+        saving * meta.n_queries as f64 / stored_bytes as f64
+    }
+
+    /// Fold an observed read (bytes, wall time) into the calibrated
+    /// bandwidth.
+    pub fn observe_read(&mut self, bytes: u64, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 || bytes == 0 {
+            return;
+        }
+        let observed = bytes as f64 / secs;
+        self.read_bandwidth =
+            self.ewma_alpha * observed + (1.0 - self.ewma_alpha) * self.read_bandwidth;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::CaptureScheme;
+
+    fn model(kind: ModelKind, n_examples: usize, load_ms: u64) -> ModelMeta {
+        ModelMeta {
+            id: "m".into(),
+            kind,
+            n_stages: 5,
+            model_load: Duration::from_millis(load_ms),
+            n_examples,
+            intermediates: vec![],
+        }
+    }
+
+    fn interm(cum_ms: u64, stored_bytes: u64, n_rows: usize) -> IntermediateMeta {
+        IntermediateMeta {
+            id: "m.i".into(),
+            model_id: "m".into(),
+            stage_index: 1,
+            n_rows,
+            columns: vec![],
+            scheme: CaptureScheme::full(),
+            materialized: true,
+            stored_bytes,
+            exec_time: Duration::from_millis(cum_ms),
+            cum_exec_time: Duration::from_millis(cum_ms),
+            n_queries: 0,
+            quantizer: None,
+            threshold: None,
+            shape: None,
+        }
+    }
+
+    #[test]
+    fn read_time_scales_with_rows_and_bytes() {
+        let cm = CostModel {
+            read_bandwidth: 1000.0,
+            ..Default::default()
+        };
+        let m = interm(0, 8000, 1000); // 8 bytes/row
+        assert!((cm.t_read(&m, 1000) - 8.0).abs() < 1e-9);
+        assert!((cm.t_read(&m, 500) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kbit_reads_pay_reconstruction() {
+        let cm = CostModel {
+            read_bandwidth: 1000.0,
+            kbit_recon_factor: 3.0,
+            ..Default::default()
+        };
+        let mut m = interm(0, 1000, 1000);
+        let full = cm.t_read(&m, 1000);
+        m.scheme = CaptureScheme {
+            value: ValueScheme::Kbit { bits: 8 },
+            pool_sigma: None,
+        };
+        assert!((cm.t_read(&m, 1000) - 3.0 * full).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dnn_rerun_scales_linearly_with_examples() {
+        let cm = CostModel::default();
+        let model = model(ModelKind::Dnn, 1000, 1200); // 1.2s load, as the paper
+        let m = interm(5000, 0, 1000); // 5s for 1000 examples => 5ms/ex
+        let t100 = cm.t_rerun(&model, &m, 100);
+        let t1000 = cm.t_rerun(&model, &m, 1000);
+        assert!((t100 - (1.2 + 0.5)).abs() < 1e-9);
+        assert!((t1000 - (1.2 + 5.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trad_rerun_ignores_n_ex() {
+        let cm = CostModel::default();
+        let model = model(ModelKind::Trad, 1000, 0);
+        let m = interm(750, 0, 1000);
+        assert_eq!(cm.t_rerun(&model, &m, 1), cm.t_rerun(&model, &m, 1000));
+    }
+
+    #[test]
+    fn decision_flips_with_intermediate_size() {
+        // Big, cheap-to-recreate intermediate (Layer1-style): re-run wins.
+        let cm = CostModel {
+            read_bandwidth: 1000.0,
+            ..Default::default()
+        };
+        let model = model(ModelKind::Dnn, 1000, 0);
+        let big_cheap = interm(10, 1_000_000, 1000); // 1000 B/row, 0.01ms/ex
+        assert!(!cm.should_read(&model, &big_cheap, 1000));
+        // Small, expensive intermediate (deep layer): read wins.
+        let small_deep = interm(60_000, 1000, 1000); // 1 B/row, 60ms/ex
+        assert!(cm.should_read(&model, &small_deep, 1000));
+    }
+
+    #[test]
+    fn gamma_grows_with_queries_and_shrinks_with_size() {
+        let cm = CostModel {
+            read_bandwidth: 1e9,
+            ..Default::default()
+        };
+        let model = model(ModelKind::Trad, 1000, 0);
+        let mut m = interm(1000, 1000, 1000);
+        m.n_queries = 1;
+        let g1 = cm.gamma(&model, &m, 1000);
+        m.n_queries = 10;
+        let g10 = cm.gamma(&model, &m, 1000);
+        assert!(g10 > g1 * 9.9);
+        let g_big = cm.gamma(&model, &m, 1_000_000);
+        assert!(g_big < g10 / 100.0);
+        assert_eq!(cm.gamma(&model, &m, 0), 0.0);
+    }
+
+    #[test]
+    fn calibration_moves_bandwidth_toward_observations() {
+        let mut cm = CostModel {
+            read_bandwidth: 100.0,
+            ewma_alpha: 0.5,
+            ..Default::default()
+        };
+        cm.observe_read(1000, Duration::from_secs(1)); // observed 1000 B/s
+        assert!((cm.read_bandwidth - 550.0).abs() < 1e-9);
+        cm.observe_read(0, Duration::from_secs(1)); // ignored
+        assert!((cm.read_bandwidth - 550.0).abs() < 1e-9);
+    }
+}

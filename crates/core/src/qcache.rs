@@ -1,0 +1,224 @@
+//! Session query cache (the paper's Sec 10 future-work item: "a diagnosis
+//! session often involves many queries, and therefore there may be
+//! opportunities to further reduce execution time via caching").
+//!
+//! A byte-budgeted LRU over fetched frames, keyed by
+//! `(intermediate, columns, n_ex)`. Entries for an intermediate are
+//! invalidated whenever its storage state changes (e.g. adaptive
+//! materialization re-stores it at a different scheme).
+
+use std::collections::HashMap;
+
+use mistique_dataframe::DataFrame;
+
+/// Cache key: the exact fetch request.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    pub intermediate: String,
+    /// Sorted requested columns; `None` = all columns.
+    pub columns: Option<Vec<String>>,
+    pub n_ex: Option<usize>,
+}
+
+impl CacheKey {
+    pub fn new(intermediate: &str, columns: Option<&[&str]>, n_ex: Option<usize>) -> CacheKey {
+        let columns = columns.map(|cols| {
+            let mut v: Vec<String> = cols.iter().map(|s| s.to_string()).collect();
+            v.sort();
+            v
+        });
+        CacheKey {
+            intermediate: intermediate.to_string(),
+            columns,
+            n_ex,
+        }
+    }
+}
+
+/// Byte-budgeted LRU cache of fetched frames.
+#[derive(Debug, Default)]
+pub struct QueryCache {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    entries: HashMap<CacheKey, DataFrame>,
+    /// LRU order, front = least recently used.
+    lru: Vec<CacheKey>,
+    hits: u64,
+    misses: u64,
+}
+
+impl QueryCache {
+    /// Create a cache with a byte budget (0 disables caching).
+    pub fn new(capacity_bytes: usize) -> QueryCache {
+        QueryCache {
+            capacity_bytes,
+            ..QueryCache::default()
+        }
+    }
+
+    /// Whether caching is enabled.
+    pub fn enabled(&self) -> bool {
+        self.capacity_bytes > 0
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    pub(crate) fn get(&mut self, key: &CacheKey) -> Option<DataFrame> {
+        if !self.enabled() {
+            return None;
+        }
+        match self.entries.get(key) {
+            Some(frame) => {
+                self.hits += 1;
+                if let Some(pos) = self.lru.iter().position(|k| k == key) {
+                    let k = self.lru.remove(pos);
+                    self.lru.push(k);
+                }
+                Some(frame.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    pub(crate) fn insert(&mut self, key: CacheKey, frame: &DataFrame) {
+        if !self.enabled() {
+            return;
+        }
+        let bytes = frame.nbytes();
+        if bytes > self.capacity_bytes {
+            return; // larger than the whole budget; never cache
+        }
+        if let Some(old) = self.entries.remove(&key) {
+            self.used_bytes -= old.nbytes();
+            self.lru.retain(|k| k != &key);
+        }
+        while self.used_bytes + bytes > self.capacity_bytes {
+            let victim = self.lru.remove(0);
+            if let Some(old) = self.entries.remove(&victim) {
+                self.used_bytes -= old.nbytes();
+            }
+        }
+        self.used_bytes += bytes;
+        self.entries.insert(key.clone(), frame.clone());
+        self.lru.push(key);
+    }
+
+    /// Drop every entry of one intermediate (storage state changed).
+    pub(crate) fn invalidate(&mut self, intermediate: &str) {
+        let stale: Vec<CacheKey> = self
+            .entries
+            .keys()
+            .filter(|k| k.intermediate == intermediate)
+            .cloned()
+            .collect();
+        for key in stale {
+            if let Some(old) = self.entries.remove(&key) {
+                self.used_bytes -= old.nbytes();
+            }
+            self.lru.retain(|k| k != &key);
+        }
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.lru.clear();
+        self.used_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mistique_dataframe::Column;
+
+    fn frame(tag: f64, rows: usize) -> DataFrame {
+        DataFrame::from_columns(vec![Column::f64("x", vec![tag; rows])])
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let mut c = QueryCache::new(0);
+        let key = CacheKey::new("i", None, None);
+        c.insert(key.clone(), &frame(1.0, 10));
+        assert!(c.get(&key).is_none());
+        assert!(!c.enabled());
+    }
+
+    #[test]
+    fn hit_returns_equal_frame_and_counts() {
+        let mut c = QueryCache::new(1 << 20);
+        let key = CacheKey::new("i", Some(&["x"]), Some(5));
+        let f = frame(2.0, 5);
+        c.insert(key.clone(), &f);
+        assert_eq!(c.get(&key), Some(f));
+        assert_eq!(c.hits(), 1);
+        assert!(c.get(&CacheKey::new("other", None, None)).is_none());
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn column_order_is_canonicalized() {
+        let a = CacheKey::new("i", Some(&["b", "a"]), None);
+        let b = CacheKey::new("i", Some(&["a", "b"]), None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lru_eviction_under_budget_pressure() {
+        // Each frame is 100 rows * 8 bytes = 800 bytes; budget fits two.
+        let mut c = QueryCache::new(1700);
+        let k1 = CacheKey::new("i1", None, None);
+        let k2 = CacheKey::new("i2", None, None);
+        let k3 = CacheKey::new("i3", None, None);
+        c.insert(k1.clone(), &frame(1.0, 100));
+        c.insert(k2.clone(), &frame(2.0, 100));
+        // Touch k1 so k2 is LRU.
+        assert!(c.get(&k1).is_some());
+        c.insert(k3.clone(), &frame(3.0, 100));
+        assert!(c.get(&k2).is_none(), "k2 was LRU and must be evicted");
+        assert!(c.get(&k1).is_some());
+        assert!(c.get(&k3).is_some());
+        assert!(c.used_bytes() <= 1700);
+    }
+
+    #[test]
+    fn oversized_entry_is_not_cached() {
+        let mut c = QueryCache::new(100);
+        let key = CacheKey::new("i", None, None);
+        c.insert(key.clone(), &frame(1.0, 1000)); // 8000 bytes > 100
+        assert!(c.get(&key).is_none());
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn invalidate_drops_only_that_intermediate() {
+        let mut c = QueryCache::new(1 << 20);
+        let k1 = CacheKey::new("i1", None, None);
+        let k1b = CacheKey::new("i1", Some(&["x"]), Some(3));
+        let k2 = CacheKey::new("i2", None, None);
+        c.insert(k1.clone(), &frame(1.0, 10));
+        c.insert(k1b.clone(), &frame(1.5, 3));
+        c.insert(k2.clone(), &frame(2.0, 10));
+        c.invalidate("i1");
+        assert!(c.get(&k1).is_none());
+        assert!(c.get(&k1b).is_none());
+        assert!(c.get(&k2).is_some());
+    }
+}

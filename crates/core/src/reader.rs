@@ -1,0 +1,600 @@
+//! The ChunkReader (Sec 6, Alg. 3): fetch an intermediate by reading stored
+//! chunks or re-running the model, whichever the cost model prefers, plus
+//! adaptive materialization (Sec 4.3) on the re-run path.
+
+use std::time::{Duration, Instant};
+
+use mistique_dataframe::{Column, ColumnData, DataFrame};
+use mistique_store::ChunkKey;
+
+use crate::capture::{decode_column, pool_batch, CaptureScheme, ValueScheme};
+use crate::error::MistiqueError;
+use crate::executor::ModelSource;
+use crate::metadata::ModelKind;
+use crate::system::{Mistique, StorageStrategy};
+
+/// How a fetch was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchStrategy {
+    /// Chunks were read from the DataStore.
+    Read,
+    /// The model was re-run.
+    Rerun,
+    /// Served from the session query cache (see [`crate::qcache`]).
+    Cached,
+}
+
+/// The result of fetching an intermediate.
+#[derive(Debug)]
+pub struct FetchResult {
+    /// The fetched data, one f64-convertible column per requested column.
+    pub frame: DataFrame,
+    /// Strategy actually used.
+    pub strategy: FetchStrategy,
+    /// Wall-clock time of the fetch.
+    pub fetch_time: Duration,
+    /// The cost model's `t_read` prediction (seconds).
+    pub predicted_read: f64,
+    /// The cost model's `t_rerun` prediction (seconds).
+    pub predicted_rerun: f64,
+}
+
+impl Mistique {
+    /// Fetch an intermediate (all rows / all columns unless restricted),
+    /// letting the cost model pick read vs re-run — the paper's
+    /// `get_intermediates` API.
+    pub fn get_intermediate(
+        &mut self,
+        intermediate_id: &str,
+        columns: Option<&[&str]>,
+        n_ex: Option<usize>,
+    ) -> Result<FetchResult, MistiqueError> {
+        let (can_read, should_read) = {
+            let meta = self
+                .meta
+                .intermediate(intermediate_id)
+                .ok_or_else(|| MistiqueError::UnknownIntermediate(intermediate_id.into()))?;
+            let model = self
+                .meta
+                .model(&meta.model_id)
+                .ok_or_else(|| MistiqueError::UnknownModel(meta.model_id.clone()))?;
+            let n = n_ex.unwrap_or(meta.n_rows).min(meta.n_rows);
+            (meta.materialized, self.cost.should_read(model, meta, n))
+        };
+        // Session query cache: serve repeated identical fetches directly.
+        let cache_key = crate::qcache::CacheKey::new(intermediate_id, columns, n_ex);
+        if let Some(frame) = self.qcache.get(&cache_key) {
+            self.meta.bump_queries(intermediate_id);
+            return Ok(FetchResult {
+                frame,
+                strategy: FetchStrategy::Cached,
+                fetch_time: Duration::ZERO,
+                predicted_read: 0.0,
+                predicted_rerun: 0.0,
+            });
+        }
+        let strategy = if can_read && should_read {
+            FetchStrategy::Read
+        } else {
+            FetchStrategy::Rerun
+        };
+        let result = self.fetch_with_strategy(intermediate_id, columns, n_ex, strategy)?;
+        self.qcache.insert(cache_key, &result.frame);
+        Ok(result)
+    }
+
+    /// Fetch with an explicit strategy (benchmarks use this to measure both
+    /// sides of the trade-off).
+    pub fn fetch_with_strategy(
+        &mut self,
+        intermediate_id: &str,
+        columns: Option<&[&str]>,
+        n_ex: Option<usize>,
+        strategy: FetchStrategy,
+    ) -> Result<FetchResult, MistiqueError> {
+        let meta = self
+            .meta
+            .intermediate(intermediate_id)
+            .ok_or_else(|| MistiqueError::UnknownIntermediate(intermediate_id.into()))?
+            .clone();
+        let model = self
+            .meta
+            .model(&meta.model_id)
+            .ok_or_else(|| MistiqueError::UnknownModel(meta.model_id.clone()))?
+            .clone();
+        let n = n_ex.unwrap_or(meta.n_rows).min(meta.n_rows);
+
+        let predicted_read = self.cost.t_read(&meta, n);
+        let predicted_rerun = self.cost.t_rerun(&model, &meta, n);
+
+        // Validate requested columns.
+        if let Some(cols) = columns {
+            for c in cols {
+                if !meta.columns.iter().any(|m| m == c) {
+                    return Err(MistiqueError::UnknownColumn {
+                        intermediate: intermediate_id.into(),
+                        column: (*c).to_string(),
+                    });
+                }
+            }
+        }
+
+        let t0 = Instant::now();
+        let frame = match strategy {
+            FetchStrategy::Read => {
+                if !meta.materialized {
+                    return Err(MistiqueError::Invalid(format!(
+                        "{intermediate_id} is not materialized; cannot force Read"
+                    )));
+                }
+                let f = self.read_stored(&meta, columns, n)?;
+                let elapsed = t0.elapsed();
+                let bytes = (meta.bytes_per_row() * n as f64) as u64;
+                self.cost.observe_read(bytes, elapsed);
+                f
+            }
+            FetchStrategy::Rerun => {
+                let source = self
+                    .sources
+                    .get(&meta.model_id)
+                    .cloned()
+                    .ok_or_else(|| MistiqueError::UnknownModel(meta.model_id.clone()))?;
+                self.rerun_and_maybe_materialize(&source, &meta.id, columns, n)?
+            }
+            FetchStrategy::Cached => {
+                return Err(MistiqueError::Invalid(
+                    "Cached is not a forcible strategy; use get_intermediate".into(),
+                ))
+            }
+        };
+        let fetch_time = t0.elapsed();
+
+        self.meta.bump_queries(intermediate_id);
+        Ok(FetchResult {
+            frame,
+            strategy,
+            fetch_time,
+            predicted_read,
+            predicted_rerun,
+        })
+    }
+
+    /// Fetch specific rows by `row_id` using the primary index: only the
+    /// RowBlocks containing a requested row are read (Sec 6 — "for
+    /// particular kinds of queries (e.g. fetch results by row_id), MISTIQUE
+    /// can use the primary index to speed up retrieval"). Rows are returned
+    /// in the order requested. Falls back to re-run when the intermediate is
+    /// not materialized.
+    pub fn get_rows(
+        &mut self,
+        intermediate_id: &str,
+        rows: &[usize],
+        columns: Option<&[&str]>,
+    ) -> Result<FetchResult, MistiqueError> {
+        let meta = self
+            .meta
+            .intermediate(intermediate_id)
+            .ok_or_else(|| MistiqueError::UnknownIntermediate(intermediate_id.into()))?
+            .clone();
+        for &r in rows {
+            if r >= meta.n_rows {
+                return Err(MistiqueError::Invalid(format!(
+                    "row {r} out of range ({} rows)",
+                    meta.n_rows
+                )));
+            }
+        }
+        if !meta.materialized {
+            // Re-run and gather.
+            let full =
+                self.fetch_with_strategy(intermediate_id, columns, None, FetchStrategy::Rerun)?;
+            return Ok(FetchResult {
+                frame: full.frame.gather_rows(rows),
+                strategy: FetchStrategy::Rerun,
+                fetch_time: full.fetch_time,
+                predicted_read: full.predicted_read,
+                predicted_rerun: full.predicted_rerun,
+            });
+        }
+
+        let rbs = self.config.row_block_size;
+        let wanted: Vec<String> = match columns {
+            Some(cols) => {
+                for c in cols {
+                    if !meta.columns.iter().any(|m| m == c) {
+                        return Err(MistiqueError::UnknownColumn {
+                            intermediate: intermediate_id.into(),
+                            column: (*c).to_string(),
+                        });
+                    }
+                }
+                cols.iter().map(|s| s.to_string()).collect()
+            }
+            None => meta.columns.clone(),
+        };
+
+        // Which blocks do the requested rows touch?
+        let mut blocks: Vec<usize> = rows.iter().map(|r| r / rbs).collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+
+        let t0 = Instant::now();
+        let mut out_cols = Vec::with_capacity(wanted.len());
+        for name in &wanted {
+            // Decode only the touched blocks.
+            let mut decoded: std::collections::HashMap<usize, Vec<f64>> =
+                std::collections::HashMap::with_capacity(blocks.len());
+            for &b in &blocks {
+                let key = ChunkKey::new(meta.id.clone(), name.clone(), b as u32);
+                let chunk = self.store.get_chunk(&key)?;
+                decoded.insert(
+                    b,
+                    decode_column(&chunk.data, meta.scheme.value, meta.quantizer.as_deref()),
+                );
+            }
+            let values: Vec<f64> = rows.iter().map(|&r| decoded[&(r / rbs)][r % rbs]).collect();
+            out_cols.push(Column::f64(name.clone(), values));
+        }
+        let fetch_time = t0.elapsed();
+        self.meta.bump_queries(intermediate_id);
+        Ok(FetchResult {
+            frame: DataFrame::from_columns(out_cols),
+            strategy: FetchStrategy::Read,
+            fetch_time,
+            predicted_read: 0.0,
+            predicted_rerun: 0.0,
+        })
+    }
+
+    /// Read path: gather the chunks of each requested column across the
+    /// RowBlocks covering rows `[0, n)`, decode (dequantize), and stitch.
+    fn read_stored(
+        &mut self,
+        meta: &crate::metadata::IntermediateMeta,
+        columns: Option<&[&str]>,
+        n: usize,
+    ) -> Result<DataFrame, MistiqueError> {
+        let rbs = self.config.row_block_size;
+        let n_blocks = n.div_ceil(rbs);
+        let wanted: Vec<String> = match columns {
+            Some(cols) => cols.iter().map(|s| s.to_string()).collect(),
+            None => meta.columns.clone(),
+        };
+        let mut out_cols = Vec::with_capacity(wanted.len());
+        for name in &wanted {
+            let mut values: Vec<f64> = Vec::with_capacity(n);
+            for b in 0..n_blocks {
+                let key = ChunkKey::new(meta.id.clone(), name.clone(), b as u32);
+                let chunk = self.store.get_chunk(&key)?;
+                let decoded =
+                    decode_column(&chunk.data, meta.scheme.value, meta.quantizer.as_deref());
+                values.extend(decoded);
+            }
+            values.truncate(n);
+            out_cols.push(Column::f64(name.clone(), values));
+        }
+        Ok(DataFrame::from_columns(out_cols))
+    }
+
+    /// Re-run path: recreate the intermediate, align its layout with the
+    /// stored schema (apply the same pooling), then apply adaptive
+    /// materialization if configured (Alg. 4's γ test).
+    fn rerun_and_maybe_materialize(
+        &mut self,
+        source: &ModelSource,
+        intermediate_id: &str,
+        columns: Option<&[&str]>,
+        n: usize,
+    ) -> Result<DataFrame, MistiqueError> {
+        let meta = self.meta.intermediate(intermediate_id).unwrap().clone();
+        let recreated = source.recreate(
+            meta.stage_index,
+            match source.kind() {
+                ModelKind::Trad => None,
+                ModelKind::Dnn => Some(n),
+            },
+        );
+        let mut frame = recreated.frame;
+
+        // Align DNN layouts: stored intermediates may be pooled.
+        if source.kind() == ModelKind::Dnn {
+            if let (Some(sigma), Some(layer_shapes)) =
+                (meta.scheme.pool_sigma, source.layer_shapes())
+            {
+                let (c, h, w) = layer_shapes[meta.stage_index];
+                if h > 1 && sigma > 1 {
+                    frame = pool_frame(&frame, c, h, w, sigma);
+                }
+            }
+        }
+        // TRAD pipelines recreate all rows; trim to the request.
+        if frame.n_rows() > n {
+            frame = frame.slice_rows(0, n);
+        }
+
+        // Adaptive materialization: store the full intermediate once its γ
+        // clears the threshold. Only complete recreations are stored.
+        if let StorageStrategy::Adaptive { gamma_min } = self.config.storage {
+            let full = frame.n_rows() == meta.n_rows;
+            if !meta.materialized && full {
+                let model = self.meta.model(&meta.model_id).unwrap().clone();
+                // γ uses the query count including this query.
+                let mut projected = meta.clone();
+                projected.n_queries += 1;
+                let gamma = self
+                    .cost
+                    .gamma(&model, &projected, meta.stored_bytes.max(1));
+                if gamma >= gamma_min {
+                    self.qcache.invalidate(intermediate_id);
+                    let stored = self.store_frame(intermediate_id, &frame, source.kind())?;
+                    let m = self.meta.intermediate_mut(intermediate_id).unwrap();
+                    m.materialized = true;
+                    m.stored_bytes = stored;
+                    // Materialized from a re-run: full precision values.
+                    m.scheme = CaptureScheme {
+                        value: ValueScheme::Full,
+                        pool_sigma: meta.scheme.pool_sigma,
+                    };
+                    m.quantizer = None;
+                    m.threshold = None;
+                }
+            }
+        }
+
+        if let Some(cols) = columns {
+            frame = frame.select(cols);
+        }
+        Ok(frame)
+    }
+}
+
+/// Pool each row of an activation frame laid out as `c x h x w` features.
+fn pool_frame(frame: &DataFrame, c: usize, h: usize, w: usize, sigma: usize) -> DataFrame {
+    let n = frame.n_rows();
+    let cols: Vec<Vec<f64>> = frame
+        .columns()
+        .iter()
+        .map(|col| col.data.to_f64())
+        .collect();
+    let mut examples: Vec<Vec<f32>> = Vec::with_capacity(n);
+    for r in 0..n {
+        examples.push(cols.iter().map(|col| col[r] as f32).collect());
+    }
+    let (pooled, features) = pool_batch(&examples, c, h, w, sigma);
+    let out_cols = (0..features)
+        .map(|j| {
+            let vals: Vec<f32> = pooled.iter().map(|ex| ex[j]).collect();
+            Column::new(format!("n{j}"), ColumnData::F32(vals))
+        })
+        .collect();
+    DataFrame::from_columns(out_cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::MistiqueConfig;
+    use mistique_nn::{simple_cnn, CifarLike};
+    use mistique_pipeline::templates::zillow_pipelines;
+    use mistique_pipeline::ZillowData;
+    use std::sync::Arc;
+
+    fn trad_system(strategy: StorageStrategy) -> (tempfile::TempDir, Mistique, String) {
+        let dir = tempfile::tempdir().unwrap();
+        let config = MistiqueConfig {
+            row_block_size: 40,
+            storage: strategy,
+            ..MistiqueConfig::default()
+        };
+        let mut sys = Mistique::open(dir.path(), config).unwrap();
+        let data = Arc::new(ZillowData::generate(150, 1));
+        let id = sys
+            .register_trad(zillow_pipelines().remove(0), data)
+            .unwrap();
+        sys.log_intermediates(&id).unwrap();
+        (dir, sys, id)
+    }
+
+    #[test]
+    fn read_matches_rerun_for_trad() {
+        let (_d, mut sys, id) = trad_system(StorageStrategy::Dedup);
+        let interm = sys.intermediates_of(&id)[4].clone();
+        let read = sys
+            .fetch_with_strategy(&interm, None, None, FetchStrategy::Read)
+            .unwrap();
+        let rerun = sys
+            .fetch_with_strategy(&interm, None, None, FetchStrategy::Rerun)
+            .unwrap();
+        assert_eq!(read.frame.n_rows(), rerun.frame.n_rows());
+        // Numeric columns agree (read path renders everything as f64).
+        for col in read.frame.columns() {
+            let a = col.data.to_f64();
+            let b = rerun.frame.column(&col.name).unwrap().data.to_f64();
+            for (x, y) in a.iter().zip(&b) {
+                assert!(
+                    (x - y).abs() < 1e-9 || (x.is_nan() && y.is_nan()),
+                    "col {} {x} vs {y}",
+                    col.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn column_subset_fetch() {
+        let (_d, mut sys, id) = trad_system(StorageStrategy::Dedup);
+        let interm = sys.intermediates_of(&id)[3].clone();
+        let all = sys.get_intermediate(&interm, None, None).unwrap();
+        let first_col = all.frame.column_names()[0].to_string();
+        let one = sys
+            .get_intermediate(&interm, Some(&[first_col.as_str()]), None)
+            .unwrap();
+        assert_eq!(one.frame.n_cols(), 1);
+        assert_eq!(one.frame.n_rows(), all.frame.n_rows());
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        let (_d, mut sys, id) = trad_system(StorageStrategy::Dedup);
+        let interm = sys.intermediates_of(&id)[0].clone();
+        assert!(matches!(
+            sys.get_intermediate(&interm, Some(&["no_such_col"]), None),
+            Err(MistiqueError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn unmaterialized_forced_read_is_invalid() {
+        let (_d, mut sys, id) = trad_system(StorageStrategy::NoStore);
+        let interm = sys.intermediates_of(&id)[0].clone();
+        assert!(matches!(
+            sys.fetch_with_strategy(&interm, None, None, FetchStrategy::Read),
+            Err(MistiqueError::Invalid(_))
+        ));
+        // But the automatic path falls back to rerun.
+        let r = sys.get_intermediate(&interm, None, None).unwrap();
+        assert_eq!(r.strategy, FetchStrategy::Rerun);
+    }
+
+    #[test]
+    fn query_counts_increment() {
+        let (_d, mut sys, id) = trad_system(StorageStrategy::Dedup);
+        let interm = sys.intermediates_of(&id)[2].clone();
+        sys.get_intermediate(&interm, None, None).unwrap();
+        sys.get_intermediate(&interm, None, None).unwrap();
+        assert_eq!(sys.metadata().intermediate(&interm).unwrap().n_queries, 2);
+    }
+
+    #[test]
+    fn adaptive_materializes_hot_intermediate() {
+        // γ threshold of ~0 means: materialize as soon as reading would be
+        // cheaper than re-running.
+        let (_d, mut sys, id) = trad_system(StorageStrategy::Adaptive { gamma_min: 1e-12 });
+        let interm = sys.intermediates_of(&id).last().unwrap().clone();
+        assert!(!sys.metadata().intermediate(&interm).unwrap().materialized);
+        // First query re-runs and (γ > 0 with n_queries=1) materializes.
+        let r1 = sys.get_intermediate(&interm, None, None).unwrap();
+        assert_eq!(r1.strategy, FetchStrategy::Rerun);
+        assert!(sys.metadata().intermediate(&interm).unwrap().materialized);
+        // Second query reads.
+        let r2 = sys.get_intermediate(&interm, None, None).unwrap();
+        assert_eq!(r2.strategy, FetchStrategy::Read);
+        // And returns the same data.
+        assert_eq!(r1.frame.n_rows(), r2.frame.n_rows());
+        for col in r1.frame.columns() {
+            let a = col.data.to_f64();
+            let b = r2.frame.column(&col.name).unwrap().data.to_f64();
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-9 || (x.is_nan() && y.is_nan()));
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_high_threshold_never_materializes() {
+        let (_d, mut sys, id) = trad_system(StorageStrategy::Adaptive {
+            gamma_min: f64::MAX,
+        });
+        let interm = sys.intermediates_of(&id)[1].clone();
+        for _ in 0..3 {
+            let r = sys.get_intermediate(&interm, None, None).unwrap();
+            assert_eq!(r.strategy, FetchStrategy::Rerun);
+        }
+        assert!(!sys.metadata().intermediate(&interm).unwrap().materialized);
+    }
+
+    #[test]
+    fn dnn_read_and_rerun_align_with_pooling() {
+        let dir = tempfile::tempdir().unwrap();
+        let config = MistiqueConfig {
+            row_block_size: 8,
+            storage: StorageStrategy::Dedup,
+            ..MistiqueConfig::default()
+        };
+        let mut sys = Mistique::open(dir.path(), config).unwrap();
+        let data = Arc::new(CifarLike::generate(16, 10, 1));
+        let id = sys
+            .register_dnn(Arc::new(simple_cnn(16)), 5, 0, data, 8)
+            .unwrap();
+        sys.log_intermediates(&id).unwrap();
+        let interm = format!("{id}.layer1");
+        let read = sys
+            .fetch_with_strategy(&interm, None, None, FetchStrategy::Read)
+            .unwrap();
+        let rerun = sys
+            .fetch_with_strategy(&interm, None, None, FetchStrategy::Rerun)
+            .unwrap();
+        // pool(2) layout: both paths expose the pooled column count.
+        assert_eq!(read.frame.n_cols(), rerun.frame.n_cols());
+        assert_eq!(read.frame.n_rows(), rerun.frame.n_rows());
+        for col in read.frame.columns() {
+            let a = col.data.to_f64();
+            let b = rerun.frame.column(&col.name).unwrap().data.to_f64();
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-4, "col {}: {x} vs {y}", col.name);
+            }
+        }
+    }
+
+    #[test]
+    fn get_rows_matches_full_fetch() {
+        let (_d, mut sys, id) = trad_system(StorageStrategy::Dedup);
+        let interm = sys.intermediates_of(&id)[3].clone();
+        let full = sys
+            .fetch_with_strategy(&interm, None, None, FetchStrategy::Read)
+            .unwrap()
+            .frame;
+        let rows = [104usize, 0, 77, 41, 41];
+        let picked = sys.get_rows(&interm, &rows, None).unwrap();
+        assert_eq!(picked.strategy, FetchStrategy::Read);
+        assert_eq!(picked.frame.n_rows(), 5);
+        for col in picked.frame.columns() {
+            let p = col.data.to_f64();
+            let f = full.column(&col.name).unwrap().data.to_f64();
+            for (k, &r) in rows.iter().enumerate() {
+                assert!(
+                    (p[k] - f[r]).abs() < 1e-9 || (p[k].is_nan() && f[r].is_nan()),
+                    "col {} row {r}",
+                    col.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn get_rows_out_of_range_errors() {
+        let (_d, mut sys, id) = trad_system(StorageStrategy::Dedup);
+        let interm = sys.intermediates_of(&id)[0].clone();
+        assert!(sys.get_rows(&interm, &[10_000], None).is_err());
+    }
+
+    #[test]
+    fn get_rows_falls_back_to_rerun_when_unmaterialized() {
+        let (_d, mut sys, id) = trad_system(StorageStrategy::NoStore);
+        let interm = sys.intermediates_of(&id)[0].clone();
+        let r = sys.get_rows(&interm, &[3, 1], Some(&["sqft"])).unwrap();
+        assert_eq!(r.strategy, FetchStrategy::Rerun);
+        assert_eq!(r.frame.n_rows(), 2);
+    }
+
+    #[test]
+    fn dnn_partial_fetch_limits_rows() {
+        let dir = tempfile::tempdir().unwrap();
+        let config = MistiqueConfig {
+            row_block_size: 8,
+            storage: StorageStrategy::Dedup,
+            ..MistiqueConfig::default()
+        };
+        let mut sys = Mistique::open(dir.path(), config).unwrap();
+        let data = Arc::new(CifarLike::generate(24, 10, 1));
+        let id = sys
+            .register_dnn(Arc::new(simple_cnn(16)), 5, 0, data, 8)
+            .unwrap();
+        sys.log_intermediates(&id).unwrap();
+        let interm = format!("{id}.layer3");
+        let r = sys
+            .fetch_with_strategy(&interm, None, Some(10), FetchStrategy::Read)
+            .unwrap();
+        assert_eq!(r.frame.n_rows(), 10);
+    }
+}

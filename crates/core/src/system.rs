@@ -1,0 +1,629 @@
+//! The MISTIQUE system facade: model registration, intermediate logging
+//! (Alg. 4), and storage strategies.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mistique_dataframe::{ColumnChunk, DataFrame};
+use mistique_nn::{ArchConfig, CifarLike, Model};
+use mistique_pipeline::{Pipeline, ZillowData};
+use mistique_store::{ChunkKey, DataStore, DataStoreConfig, PlacementPolicy};
+
+use crate::capture::{encode_batch, pool_batch, CaptureScheme, ValueScheme};
+use crate::cost::CostModel;
+use crate::error::MistiqueError;
+use crate::executor::ModelSource;
+use crate::metadata::{IntermediateMeta, MetadataDb, ModelKind, ModelMeta};
+
+/// How `log_intermediates` treats each intermediate (the paper's evaluated
+/// strategies).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StorageStrategy {
+    /// Never store; every query re-runs the model (the RERUN baseline).
+    NoStore,
+    /// Store every chunk with no de-duplication (STORE_ALL).
+    StoreAll,
+    /// Exact + approximate de-duplication (DEDUP).
+    Dedup,
+    /// Store nothing up front; materialize an intermediate once its γ
+    /// (Eq 5) exceeds `gamma_min` seconds/byte (ADAPTIVE, Sec 4.3).
+    Adaptive {
+        /// Materialization threshold in seconds of saved query time per
+        /// byte of storage. The paper's Fig 10 run uses 0.5 s/KB.
+        gamma_min: f64,
+    },
+}
+
+/// System configuration.
+#[derive(Clone, Debug)]
+pub struct MistiqueConfig {
+    /// Rows per RowBlock (paper evaluation: 1 000).
+    pub row_block_size: usize,
+    /// Storage strategy for logged intermediates.
+    pub storage: StorageStrategy,
+    /// Capture scheme applied to DNN activations (TRAD intermediates are
+    /// always stored at full precision, as in the paper).
+    pub dnn_capture: CaptureScheme,
+    /// DataStore tuning.
+    pub datastore: DataStoreConfig,
+    /// Byte budget of the session query cache (0 = disabled, the default —
+    /// a Sec 10 future-work extension; see [`crate::qcache`]).
+    pub query_cache_bytes: usize,
+}
+
+impl Default for MistiqueConfig {
+    fn default() -> Self {
+        MistiqueConfig {
+            row_block_size: mistique_dataframe::DEFAULT_ROW_BLOCK_SIZE,
+            storage: StorageStrategy::Dedup,
+            dnn_capture: CaptureScheme::pool2(),
+            datastore: DataStoreConfig::default(),
+            query_cache_bytes: 0,
+        }
+    }
+}
+
+/// The MISTIQUE system: DataStore + MetadataDB + PipelineExecutor + cost
+/// model behind one facade.
+pub struct Mistique {
+    pub(crate) dir: std::path::PathBuf,
+    pub(crate) config: MistiqueConfig,
+    pub(crate) store: DataStore,
+    pub(crate) meta: MetadataDb,
+    pub(crate) cost: CostModel,
+    pub(crate) sources: HashMap<String, ModelSource>,
+    /// Wall-clock spent writing/logging, per model (Fig 11's overhead).
+    pub(crate) log_time: HashMap<String, Duration>,
+    /// Session query cache.
+    pub(crate) qcache: crate::qcache::QueryCache,
+}
+
+impl Mistique {
+    /// Open a MISTIQUE instance persisting under `dir`.
+    pub fn open(dir: impl AsRef<Path>, config: MistiqueConfig) -> Result<Mistique, MistiqueError> {
+        let store = DataStore::open(&dir, config.datastore.clone())?;
+        let qcache = crate::qcache::QueryCache::new(config.query_cache_bytes);
+        Ok(Mistique {
+            dir: dir.as_ref().to_path_buf(),
+            config,
+            store,
+            meta: MetadataDb::new(),
+            cost: CostModel::default(),
+            sources: HashMap::new(),
+            log_time: HashMap::new(),
+            qcache,
+        })
+    }
+
+    /// Register a traditional ML pipeline. Returns the model id.
+    pub fn register_trad(
+        &mut self,
+        pipeline: Pipeline,
+        data: Arc<ZillowData>,
+    ) -> Result<String, MistiqueError> {
+        self.register(ModelSource::Trad { pipeline, data })
+    }
+
+    /// Register a DNN checkpoint. Returns the model id
+    /// (`<arch>@epoch<epoch>`).
+    pub fn register_dnn(
+        &mut self,
+        arch: Arc<ArchConfig>,
+        seed: u64,
+        epoch: u32,
+        data: Arc<CifarLike>,
+        batch_size: usize,
+    ) -> Result<String, MistiqueError> {
+        self.register(ModelSource::Dnn {
+            arch,
+            seed,
+            epoch,
+            data,
+            batch_size,
+        })
+    }
+
+    fn register(&mut self, source: ModelSource) -> Result<String, MistiqueError> {
+        let id = source.id();
+        if self.sources.contains_key(&id) {
+            return Err(MistiqueError::DuplicateModel(id));
+        }
+        let meta = ModelMeta {
+            id: id.clone(),
+            kind: source.kind(),
+            n_stages: source.n_stages(),
+            model_load: Duration::ZERO,
+            n_examples: source.n_examples(),
+            intermediates: source.intermediate_ids(),
+        };
+        self.meta.register_model(meta);
+        self.sources.insert(id.clone(), source);
+        Ok(id)
+    }
+
+    /// Registered model ids.
+    pub fn model_ids(&self) -> Vec<String> {
+        self.meta.model_ids()
+    }
+
+    /// Intermediate ids of a model in stage order.
+    pub fn intermediates_of(&self, model_id: &str) -> Vec<String> {
+        self.meta
+            .model(model_id)
+            .map(|m| m.intermediates.clone())
+            .unwrap_or_default()
+    }
+
+    /// Access the metadata database (read-only).
+    pub fn metadata(&self) -> &MetadataDb {
+        &self.meta
+    }
+
+    /// Access the cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Mutable access to the cost model (benchmarks calibrate it directly).
+    pub fn cost_model_mut(&mut self) -> &mut CostModel {
+        &mut self.cost
+    }
+
+    /// Access the underlying data store.
+    pub fn store(&self) -> &DataStore {
+        &self.store
+    }
+
+    /// Mutable access to the underlying data store (used by benches to
+    /// clear caches between cold-read measurements).
+    pub fn store_mut(&mut self) -> &mut DataStore {
+        &mut self.store
+    }
+
+    /// Total time spent logging a model (write overhead, Fig 11).
+    pub fn logging_overhead(&self, model_id: &str) -> Duration {
+        self.log_time
+            .get(model_id)
+            .copied()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Access the session query cache (hit/miss counters).
+    pub fn query_cache(&self) -> &crate::qcache::QueryCache {
+        &self.qcache
+    }
+
+    /// Flush open partitions to disk.
+    pub fn flush(&mut self) -> Result<(), MistiqueError> {
+        self.store.flush()?;
+        Ok(())
+    }
+
+    /// Run the model and log every stage's intermediate according to the
+    /// configured storage strategy (the paper's `log_intermediates` API and
+    /// Alg. 4).
+    pub fn log_intermediates(&mut self, model_id: &str) -> Result<(), MistiqueError> {
+        let source = self
+            .sources
+            .get(model_id)
+            .cloned()
+            .ok_or_else(|| MistiqueError::UnknownModel(model_id.to_string()))?;
+        let t0 = Instant::now();
+        match &source {
+            ModelSource::Trad { pipeline, data } => self.log_trad(pipeline, data)?,
+            ModelSource::Dnn {
+                arch,
+                seed,
+                epoch,
+                data,
+                ..
+            } => self.log_dnn(&source, arch, *seed, *epoch, data)?,
+        }
+        self.log_time.insert(model_id.to_string(), t0.elapsed());
+        Ok(())
+    }
+
+    /// Log several registered TRAD models, executing their pipelines in
+    /// parallel with crossbeam-scoped threads and then storing the resulting
+    /// intermediates serially (the DataStore is single-writer). DNN ids fall
+    /// back to sequential logging.
+    pub fn log_intermediates_parallel(&mut self, model_ids: &[&str]) -> Result<(), MistiqueError> {
+        // Partition into parallelizable TRAD runs and sequential DNN runs.
+        let mut trad: Vec<(String, Pipeline, Arc<ZillowData>)> = Vec::new();
+        let mut dnn: Vec<String> = Vec::new();
+        for &id in model_ids {
+            match self.sources.get(id) {
+                Some(ModelSource::Trad { pipeline, data }) => {
+                    trad.push((id.to_string(), pipeline.clone(), Arc::clone(data)));
+                }
+                Some(ModelSource::Dnn { .. }) => dnn.push(id.to_string()),
+                None => return Err(MistiqueError::UnknownModel(id.to_string())),
+            }
+        }
+
+        // Execute all TRAD pipelines concurrently; each run is pure.
+        let mut results: Vec<(String, Vec<mistique_pipeline::RunRecord>, Duration)> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = trad
+                    .iter()
+                    .map(|(id, pipeline, data)| {
+                        scope.spawn(move |_| {
+                            let t0 = Instant::now();
+                            let records = pipeline.run(data);
+                            (id.clone(), records, t0.elapsed())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pipeline thread"))
+                    .collect()
+            })
+            .expect("crossbeam scope");
+        // Store in registration order for deterministic partition layout.
+        results.sort_by_key(|(id, _, _)| {
+            trad.iter()
+                .position(|(tid, _, _)| tid == id)
+                .unwrap_or(usize::MAX)
+        });
+        for (id, records, elapsed) in results {
+            self.log_trad_records(&id, records)?;
+            self.log_time.insert(id, elapsed);
+        }
+        for id in dnn {
+            self.log_intermediates(&id)?;
+        }
+        Ok(())
+    }
+
+    fn should_materialize_at_log_time(&self) -> bool {
+        matches!(
+            self.config.storage,
+            StorageStrategy::StoreAll | StorageStrategy::Dedup
+        )
+    }
+
+    /// Store one intermediate dataframe as chunks. Returns the serialized
+    /// byte volume submitted.
+    pub(crate) fn store_frame(
+        &mut self,
+        intermediate_id: &str,
+        frame: &DataFrame,
+        kind: ModelKind,
+    ) -> Result<u64, MistiqueError> {
+        let policy = match kind {
+            ModelKind::Trad => self.config.datastore.policy,
+            ModelKind::Dnn => PlacementPolicy::ByIntermediate,
+        };
+        let dedup = !matches!(self.config.storage, StorageStrategy::StoreAll);
+        let mut bytes = 0u64;
+        for (block, column, chunk) in frame.chunks(self.config.row_block_size) {
+            bytes += chunk.to_bytes().len() as u64;
+            let key = ChunkKey::new(intermediate_id, column, block as u32);
+            self.store.put_chunk_with(key, &chunk, policy, dedup)?;
+        }
+        Ok(bytes)
+    }
+
+    /// Serialized size of a frame without storing it (metadata for
+    /// un-materialized intermediates, so γ can be evaluated later).
+    fn frame_stored_bytes(frame: &DataFrame, row_block_size: usize) -> u64 {
+        frame
+            .chunks(row_block_size)
+            .map(|(_, _, c)| c.to_bytes().len() as u64)
+            .sum()
+    }
+
+    fn log_trad(
+        &mut self,
+        pipeline: &Pipeline,
+        data: &Arc<ZillowData>,
+    ) -> Result<(), MistiqueError> {
+        let records = pipeline.run(data);
+        self.log_trad_records(&pipeline.id, records)
+    }
+
+    /// Log pre-computed TRAD run records (the storage half of `log_trad`,
+    /// shared with [`Mistique::log_intermediates_parallel`]).
+    fn log_trad_records(
+        &mut self,
+        model_id: &str,
+        records: Vec<mistique_pipeline::RunRecord>,
+    ) -> Result<(), MistiqueError> {
+        let model_id = model_id.to_string();
+        let mut cum = Duration::ZERO;
+        for rec in records {
+            cum += rec.exec_time;
+            let materialize = self.should_materialize_at_log_time();
+            let stored_bytes = if materialize {
+                self.store_frame(&rec.intermediate_id, &rec.output, ModelKind::Trad)?
+            } else {
+                Self::frame_stored_bytes(&rec.output, self.config.row_block_size)
+            };
+            self.meta.upsert_intermediate(IntermediateMeta {
+                id: rec.intermediate_id.clone(),
+                model_id: model_id.clone(),
+                stage_index: rec.stage_index,
+                n_rows: rec.output.n_rows(),
+                columns: rec
+                    .output
+                    .column_names()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+                scheme: CaptureScheme::full(),
+                materialized: materialize,
+                stored_bytes,
+                exec_time: rec.exec_time,
+                cum_exec_time: cum,
+                n_queries: 0,
+                quantizer: None,
+                threshold: None,
+                shape: None,
+            });
+        }
+        Ok(())
+    }
+
+    fn log_dnn(
+        &mut self,
+        source: &ModelSource,
+        arch: &Arc<ArchConfig>,
+        seed: u64,
+        epoch: u32,
+        data: &Arc<CifarLike>,
+    ) -> Result<(), MistiqueError> {
+        let model_id = source.id();
+        let capture = self.config.dnn_capture;
+
+        let t_load = Instant::now();
+        let model = Model::build(arch, seed, epoch);
+        let model_load = t_load.elapsed();
+        if let Some(m) = self.meta.model_mut(&model_id) {
+            m.model_load = model_load;
+        }
+
+        let n = data.len();
+        let block_rows = self.config.row_block_size;
+        let n_layers = model.n_layers();
+        let mut per_layer_exec = vec![Duration::ZERO; n_layers];
+        // Per-layer quantization state, fitted on the first block.
+        let mut quantizers: Vec<Option<Vec<u8>>> = vec![None; n_layers];
+        let mut thresholds: Vec<Option<f32>> = vec![None; n_layers];
+        let mut stored_bytes = vec![0u64; n_layers];
+        let mut shapes: Vec<(usize, usize, usize)> = vec![(0, 0, 0); n_layers];
+        let mut columns: Vec<Vec<String>> = vec![Vec::new(); n_layers];
+
+        let materialize = self.should_materialize_at_log_time();
+
+        let mut block = 0u32;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + block_rows).min(n);
+            let mut cur = data.images.slice_examples(start, end);
+            for (li, nl) in model.layers.iter().enumerate() {
+                let t = Instant::now();
+                cur = nl.layer.forward(&cur);
+                per_layer_exec[li] += t.elapsed();
+
+                let (c, h, w) = nl.out_shape;
+                // Collect per-example feature vectors.
+                let mut examples: Vec<Vec<f32>> =
+                    (0..cur.n).map(|i| cur.example(i).to_vec()).collect();
+                let mut features = c * h * w;
+                let mut shape = (c, h, w);
+                // POOL_QT applies only to spatial (conv/pool) activations.
+                if let Some(sigma) = capture.pool_sigma {
+                    if h > 1 && sigma > 1 {
+                        let (pooled, f) = pool_batch(&examples, c, h, w, sigma);
+                        examples = pooled;
+                        features = f;
+                        let oh = h.div_ceil(sigma);
+                        let ow = w.div_ceil(sigma);
+                        shape = (c, oh, ow);
+                    }
+                }
+                shapes[li] = shape;
+
+                let captured = encode_batch(
+                    &examples,
+                    features,
+                    capture.value,
+                    quantizers[li].as_deref(),
+                    thresholds[li],
+                );
+                if let Some(q) = captured.quantizer {
+                    quantizers[li] = Some(q);
+                }
+                if let Some(t) = captured.threshold {
+                    thresholds[li] = Some(t);
+                }
+                if columns[li].is_empty() {
+                    columns[li] = captured
+                        .frame
+                        .column_names()
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect();
+                }
+
+                let interm_id = format!("{}.layer{}", model_id, li + 1);
+                if materialize {
+                    for col in captured.frame.columns() {
+                        let chunk = ColumnChunk::new(col.data.clone());
+                        stored_bytes[li] += chunk.to_bytes().len() as u64;
+                        let key = ChunkKey::new(interm_id.clone(), col.name.clone(), block);
+                        let dedup = !matches!(self.config.storage, StorageStrategy::StoreAll);
+                        self.store.put_chunk_with(
+                            key,
+                            &chunk,
+                            PlacementPolicy::ByIntermediate,
+                            dedup,
+                        )?;
+                    }
+                } else {
+                    stored_bytes[li] += Self::frame_stored_bytes(&captured.frame, block_rows);
+                }
+            }
+            start = end;
+            block += 1;
+        }
+
+        // Register metadata per layer with cumulative forward times.
+        let mut cum = Duration::ZERO;
+        for li in 0..n_layers {
+            cum += per_layer_exec[li];
+            let interm_id = format!("{}.layer{}", model_id, li + 1);
+            self.meta.upsert_intermediate(IntermediateMeta {
+                id: interm_id,
+                model_id: model_id.clone(),
+                stage_index: li,
+                n_rows: n,
+                columns: std::mem::take(&mut columns[li]),
+                scheme: capture,
+                materialized: materialize,
+                stored_bytes: stored_bytes[li],
+                exec_time: per_layer_exec[li],
+                cum_exec_time: cum,
+                n_queries: 0,
+                quantizer: quantizers[li].take(),
+                threshold: thresholds[li],
+                shape: Some(shapes[li]),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Which value scheme a capture config uses (re-exported convenience).
+pub fn value_scheme_of(config: &MistiqueConfig) -> ValueScheme {
+    config.dnn_capture.value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mistique_nn::simple_cnn;
+    use mistique_pipeline::templates::zillow_pipelines;
+
+    fn open_sys(strategy: StorageStrategy) -> (tempfile::TempDir, Mistique) {
+        let dir = tempfile::tempdir().unwrap();
+        let config = MistiqueConfig {
+            row_block_size: 50,
+            storage: strategy,
+            ..MistiqueConfig::default()
+        };
+        let m = Mistique::open(dir.path(), config).unwrap();
+        (dir, m)
+    }
+
+    #[test]
+    fn register_and_log_trad() {
+        let (_d, mut sys) = open_sys(StorageStrategy::Dedup);
+        let data = Arc::new(ZillowData::generate(120, 1));
+        let id = sys
+            .register_trad(zillow_pipelines().remove(0), data)
+            .unwrap();
+        sys.log_intermediates(&id).unwrap();
+        let interms = sys.intermediates_of(&id);
+        assert!(!interms.is_empty());
+        for i in &interms {
+            let m = sys.metadata().intermediate(i).unwrap();
+            assert!(m.materialized);
+            assert!(m.stored_bytes > 0);
+        }
+        // Cumulative times are monotone.
+        let metas: Vec<_> = interms
+            .iter()
+            .map(|i| sys.metadata().intermediate(i).unwrap().cum_exec_time)
+            .collect();
+        for w in metas.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let (_d, mut sys) = open_sys(StorageStrategy::Dedup);
+        let data = Arc::new(ZillowData::generate(60, 1));
+        sys.register_trad(zillow_pipelines().remove(0), Arc::clone(&data))
+            .unwrap();
+        let err = sys.register_trad(zillow_pipelines().remove(0), data);
+        assert!(matches!(err, Err(MistiqueError::DuplicateModel(_))));
+    }
+
+    #[test]
+    fn log_dnn_registers_all_layers() {
+        let (_d, mut sys) = open_sys(StorageStrategy::Dedup);
+        let data = Arc::new(CifarLike::generate(20, 10, 3));
+        let id = sys
+            .register_dnn(Arc::new(simple_cnn(16)), 7, 0, data, 10)
+            .unwrap();
+        sys.log_intermediates(&id).unwrap();
+        let interms = sys.intermediates_of(&id);
+        assert_eq!(interms.len(), 9, "4 conv + 2 pool + flatten + 2 FC");
+        let first = sys.metadata().intermediate(&interms[0]).unwrap();
+        assert_eq!(first.n_rows, 20);
+        assert!(first.shape.is_some());
+        // pool(2) halves the spatial dims of layer1 (32x32 -> 16x16).
+        assert_eq!(first.shape.unwrap().1, 16);
+    }
+
+    #[test]
+    fn nostore_strategy_records_metadata_without_chunks() {
+        let (_d, mut sys) = open_sys(StorageStrategy::NoStore);
+        let data = Arc::new(ZillowData::generate(80, 1));
+        let id = sys
+            .register_trad(zillow_pipelines().remove(0), data)
+            .unwrap();
+        sys.log_intermediates(&id).unwrap();
+        let interms = sys.intermediates_of(&id);
+        let m = sys.metadata().intermediate(&interms[0]).unwrap();
+        assert!(!m.materialized);
+        assert!(m.stored_bytes > 0, "size estimate still recorded");
+        assert_eq!(sys.store().stats().chunks_stored, 0);
+    }
+
+    #[test]
+    fn store_all_stores_more_than_dedup() {
+        let data = Arc::new(ZillowData::generate(100, 1));
+        let pipes = zillow_pipelines();
+        // Two variants of the same template share most intermediates.
+        let run = |strategy| {
+            let (_d, mut sys) = open_sys(strategy);
+            for p in pipes.iter().filter(|p| p.id.starts_with("P2_")).take(2) {
+                let id = sys.register_trad(p.clone(), Arc::clone(&data)).unwrap();
+                sys.log_intermediates(&id).unwrap();
+            }
+            sys.store().stats()
+        };
+        let all = run(StorageStrategy::StoreAll);
+        let dedup = run(StorageStrategy::Dedup);
+        assert_eq!(all.dedup_hits, 0);
+        assert!(dedup.dedup_hits > 0);
+        assert!(dedup.unique_bytes < all.unique_bytes);
+    }
+
+    #[test]
+    fn logging_overhead_is_tracked() {
+        let (_d, mut sys) = open_sys(StorageStrategy::Dedup);
+        let data = Arc::new(ZillowData::generate(60, 1));
+        let id = sys
+            .register_trad(zillow_pipelines().remove(0), data)
+            .unwrap();
+        assert_eq!(sys.logging_overhead(&id), Duration::ZERO);
+        sys.log_intermediates(&id).unwrap();
+        assert!(sys.logging_overhead(&id) > Duration::ZERO);
+    }
+
+    #[test]
+    fn unknown_model_errors() {
+        let (_d, mut sys) = open_sys(StorageStrategy::Dedup);
+        assert!(matches!(
+            sys.log_intermediates("nope"),
+            Err(MistiqueError::UnknownModel(_))
+        ));
+    }
+}

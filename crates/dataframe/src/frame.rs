@@ -1,0 +1,282 @@
+//! Logical dataframes and RowBlock chunking.
+
+use crate::chunk::ColumnChunk;
+use crate::column::{Column, ColumnData};
+
+/// A logical table: named, typed columns of equal length with an implicit
+/// `row_id` (the row's position). Every model intermediate is one of these.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct DataFrame {
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl DataFrame {
+    /// Create an empty dataframe.
+    pub fn new() -> Self {
+        DataFrame::default()
+    }
+
+    /// Build from columns.
+    ///
+    /// # Panics
+    /// Panics if columns have differing lengths or duplicate names.
+    pub fn from_columns(columns: Vec<Column>) -> Self {
+        let n_rows = columns.first().map_or(0, |c| c.len());
+        for c in &columns {
+            assert_eq!(c.len(), n_rows, "column {} length mismatch", c.name);
+        }
+        let mut names: Vec<&str> = columns.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), columns.len(), "duplicate column names");
+        DataFrame { columns, n_rows }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Look up a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Add a column.
+    ///
+    /// # Panics
+    /// Panics on length mismatch (unless the frame is empty) or name clash.
+    pub fn push_column(&mut self, column: Column) {
+        if self.columns.is_empty() {
+            self.n_rows = column.len();
+        } else {
+            assert_eq!(
+                column.len(),
+                self.n_rows,
+                "column {} length mismatch",
+                column.name
+            );
+        }
+        assert!(
+            self.column(&column.name).is_none(),
+            "duplicate column name {}",
+            column.name
+        );
+        self.columns.push(column);
+    }
+
+    /// Remove a column by name, returning it if present.
+    pub fn drop_column(&mut self, name: &str) -> Option<Column> {
+        let idx = self.columns.iter().position(|c| c.name == name)?;
+        Some(self.columns.remove(idx))
+    }
+
+    /// A new dataframe with only the named columns (in the given order).
+    ///
+    /// # Panics
+    /// Panics if a name is missing.
+    pub fn select(&self, names: &[&str]) -> DataFrame {
+        let columns = names
+            .iter()
+            .map(|n| {
+                self.column(n)
+                    .unwrap_or_else(|| panic!("no column named {n}"))
+                    .clone()
+            })
+            .collect();
+        DataFrame::from_columns(columns)
+    }
+
+    /// A new dataframe with rows `[start, end)` of every column.
+    pub fn slice_rows(&self, start: usize, end: usize) -> DataFrame {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Column::new(c.name.clone(), c.data.slice(start, end)))
+            .collect();
+        DataFrame::from_columns(columns)
+    }
+
+    /// A new dataframe with the rows at `indices` of every column.
+    pub fn gather_rows(&self, indices: &[usize]) -> DataFrame {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Column::new(c.name.clone(), c.data.gather(indices)))
+            .collect();
+        DataFrame::from_columns(columns)
+    }
+
+    /// Total uncompressed cell bytes across all columns.
+    pub fn nbytes(&self) -> usize {
+        self.columns.iter().map(|c| c.data.nbytes()).sum()
+    }
+
+    /// Split into RowBlocks of `block_size` rows; yields
+    /// `(block_index, column_name, ColumnChunk)` for every chunk.
+    ///
+    /// The final block may be short. This is the decomposition the DataStore
+    /// uses when logging an intermediate (Alg. 4 operates per RowBlock).
+    pub fn chunks(
+        &self,
+        block_size: usize,
+    ) -> impl Iterator<Item = (usize, &str, ColumnChunk)> + '_ {
+        assert!(block_size > 0, "block size must be positive");
+        let n_blocks = self.n_rows.div_ceil(block_size);
+        (0..n_blocks).flat_map(move |b| {
+            let start = b * block_size;
+            let end = (start + block_size).min(self.n_rows);
+            self.columns.iter().map(move |c| {
+                (
+                    b,
+                    c.name.as_str(),
+                    ColumnChunk::new(c.data.slice(start, end)),
+                )
+            })
+        })
+    }
+
+    /// Reassemble a dataframe from per-column chunk sequences, the inverse of
+    /// [`DataFrame::chunks`] (the ChunkReader's "stitching", Sec 6).
+    pub fn from_chunks(parts: Vec<(String, Vec<ColumnChunk>)>) -> DataFrame {
+        let columns = parts
+            .into_iter()
+            .map(|(name, chunks)| {
+                let mut iter = chunks.into_iter();
+                let mut data = iter
+                    .next()
+                    .map(|c| c.data)
+                    .unwrap_or(ColumnData::F64(vec![]));
+                for c in iter {
+                    data.append(&c.data);
+                }
+                Column::new(name, data)
+            })
+            .collect();
+        DataFrame::from_columns(columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DEFAULT_ROW_BLOCK_SIZE;
+
+    fn sample() -> DataFrame {
+        DataFrame::from_columns(vec![
+            Column::f64("price", (0..2500).map(|i| i as f64).collect()),
+            Column::i64("rooms", (0..2500).map(|i| i % 7).collect()),
+        ])
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let df = sample();
+        assert_eq!(df.n_rows(), 2500);
+        assert_eq!(df.n_cols(), 2);
+        assert!(df.column("price").is_some());
+        assert!(df.column("missing").is_none());
+        assert_eq!(df.column_names(), vec!["price", "rooms"]);
+    }
+
+    #[test]
+    fn default_block_size_matches_paper() {
+        assert_eq!(DEFAULT_ROW_BLOCK_SIZE, 1000);
+    }
+
+    #[test]
+    fn chunking_produces_expected_blocks() {
+        let df = sample();
+        let chunks: Vec<_> = df.chunks(1000).collect();
+        // 3 blocks (1000, 1000, 500) x 2 columns.
+        assert_eq!(chunks.len(), 6);
+        assert_eq!(chunks[0].2.len(), 1000);
+        let last = &chunks[5];
+        assert_eq!(last.0, 2);
+        assert_eq!(last.2.len(), 500);
+    }
+
+    #[test]
+    fn chunk_roundtrip_reassembles_frame() {
+        let df = sample();
+        let mut by_col: Vec<(String, Vec<ColumnChunk>)> = df
+            .column_names()
+            .iter()
+            .map(|n| (n.to_string(), vec![]))
+            .collect();
+        for (_, name, chunk) in df.chunks(700) {
+            by_col
+                .iter_mut()
+                .find(|(n, _)| n == name)
+                .unwrap()
+                .1
+                .push(chunk);
+        }
+        let back = DataFrame::from_chunks(by_col);
+        assert_eq!(back, df);
+    }
+
+    #[test]
+    fn select_and_drop() {
+        let mut df = sample();
+        let sel = df.select(&["rooms"]);
+        assert_eq!(sel.n_cols(), 1);
+        assert_eq!(sel.n_rows(), 2500);
+        let dropped = df.drop_column("price").unwrap();
+        assert_eq!(dropped.name, "price");
+        assert_eq!(df.n_cols(), 1);
+        assert!(df.drop_column("price").is_none());
+    }
+
+    #[test]
+    fn slice_and_gather() {
+        let df = sample();
+        let s = df.slice_rows(10, 13);
+        assert_eq!(s.n_rows(), 3);
+        assert_eq!(
+            s.column("price").unwrap().data.to_f64(),
+            vec![10.0, 11.0, 12.0]
+        );
+        let g = df.gather_rows(&[2499, 0]);
+        assert_eq!(g.column("price").unwrap().data.to_f64(), vec![2499.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_column_lengths_panic() {
+        DataFrame::from_columns(vec![
+            Column::f64("a", vec![1.0]),
+            Column::f64("b", vec![1.0, 2.0]),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_names_panic() {
+        let mut df = DataFrame::new();
+        df.push_column(Column::f64("a", vec![1.0]));
+        df.push_column(Column::f64("a", vec![2.0]));
+    }
+
+    #[test]
+    fn nbytes_sums_columns() {
+        let df = sample();
+        assert_eq!(df.nbytes(), 2500 * 8 + 2500 * 8);
+    }
+}

@@ -1,0 +1,167 @@
+//! xxHash64, implemented from scratch.
+//!
+//! Chunk fingerprints do not need cryptographic strength (the store is not
+//! adversarial), they need speed and good dispersion — exactly the xxHash
+//! design point. The implementation follows the reference specification and
+//! is validated against its published test vectors.
+
+const PRIME1: u64 = 0x9E3779B185EBCA87;
+const PRIME2: u64 = 0xC2B2AE3D27D4EB4F;
+const PRIME3: u64 = 0x165667B19E3779F9;
+const PRIME4: u64 = 0x85EBCA77C2B2AE63;
+const PRIME5: u64 = 0x27D4EB2F165667C5;
+
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(PRIME2))
+        .rotate_left(31)
+        .wrapping_mul(PRIME1)
+}
+
+#[inline]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val))
+        .wrapping_mul(PRIME1)
+        .wrapping_add(PRIME4)
+}
+
+#[inline]
+fn read_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().unwrap())
+}
+
+#[inline]
+fn read_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().unwrap())
+}
+
+/// Compute the xxHash64 digest of `input` with the given `seed`.
+pub fn xxhash64(input: &[u8], seed: u64) -> u64 {
+    let len = input.len();
+    let mut h: u64;
+    let mut rest = input;
+
+    if len >= 32 {
+        let mut v1 = seed.wrapping_add(PRIME1).wrapping_add(PRIME2);
+        let mut v2 = seed.wrapping_add(PRIME2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(PRIME1);
+        while rest.len() >= 32 {
+            v1 = round(v1, read_u64(rest));
+            v2 = round(v2, read_u64(&rest[8..]));
+            v3 = round(v3, read_u64(&rest[16..]));
+            v4 = round(v4, read_u64(&rest[24..]));
+            rest = &rest[32..];
+        }
+        h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        h = merge_round(h, v4);
+    } else {
+        h = seed.wrapping_add(PRIME5);
+    }
+
+    h = h.wrapping_add(len as u64);
+
+    while rest.len() >= 8 {
+        h = (h ^ round(0, read_u64(rest)))
+            .rotate_left(27)
+            .wrapping_mul(PRIME1)
+            .wrapping_add(PRIME4);
+        rest = &rest[8..];
+    }
+    if rest.len() >= 4 {
+        h = (h ^ u64::from(read_u32(rest)).wrapping_mul(PRIME1))
+            .rotate_left(23)
+            .wrapping_mul(PRIME2)
+            .wrapping_add(PRIME3);
+        rest = &rest[4..];
+    }
+    for &byte in rest {
+        h = (h ^ u64::from(byte).wrapping_mul(PRIME5))
+            .rotate_left(11)
+            .wrapping_mul(PRIME1);
+    }
+
+    h ^= h >> 33;
+    h = h.wrapping_mul(PRIME2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(PRIME3);
+    h ^= h >> 32;
+    h
+}
+
+/// A 128-bit content fingerprint (two independent xxhash64 seeds), small
+/// enough to key a hash map and collision-safe at ColumnChunk counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentDigest(pub u64, pub u64);
+
+/// Fingerprint a byte buffer for exact de-duplication.
+pub fn content_digest(bytes: &[u8]) -> ContentDigest {
+    ContentDigest(xxhash64(bytes, 0), xxhash64(bytes, 0x9747b28c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference vectors from the xxHash specification repository.
+    #[test]
+    fn reference_vectors_seed0() {
+        assert_eq!(xxhash64(b"", 0), 0xEF46DB3751D8E999);
+        assert_eq!(xxhash64(b"a", 0), 0xD24EC4F1A98C6E5B);
+        assert_eq!(xxhash64(b"abc", 0), 0x44BC2CF5AD770999);
+        assert_eq!(
+            xxhash64(b"abcdefghijklmnopqrstuvwxyz0123456789", 0),
+            0x64F23ECF1609B766
+        );
+    }
+
+    #[test]
+    fn reference_vector_with_seed() {
+        assert_eq!(xxhash64(b"", 1), 0xD5AFBA1336A3BE4B);
+        assert_eq!(xxhash64(b"abc", 1), 0xBEA9CA8199328908);
+    }
+
+    #[test]
+    fn long_input_spanning_stripes() {
+        // 100 bytes crosses the 32-byte stripe loop plus all tail paths.
+        let data: Vec<u8> = (0..100u8).collect();
+        let h = xxhash64(&data, 0);
+        // Self-consistency: stable across calls and sensitive to any change.
+        assert_eq!(h, xxhash64(&data, 0));
+        let mut tweaked = data.clone();
+        tweaked[57] ^= 1;
+        assert_ne!(h, xxhash64(&tweaked, 0));
+    }
+
+    #[test]
+    fn digest_equality_iff_content_equality() {
+        let a = content_digest(b"column chunk bytes");
+        let b = content_digest(b"column chunk bytes");
+        let c = content_digest(b"column chunk bytez");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn seeds_are_independent() {
+        let d = content_digest(b"x");
+        assert_ne!(d.0, d.1);
+    }
+
+    #[test]
+    fn dispersion_sanity() {
+        // Hash 10k near-identical inputs; all 64-bit digests must be distinct.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u32..10_000 {
+            let h = xxhash64(&i.to_le_bytes(), 0);
+            assert!(seen.insert(h), "collision at {i}");
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Exact and approximate de-duplication (MISTIQUE Sec 4.2).
+//!
+//! - [`hash`]: a from-scratch xxHash64 implementation used to fingerprint
+//!   ColumnChunk bytes. Exact dedup is a hash-map lookup on these digests.
+//! - [`minhash`]: MinHash signatures over discretized value sets, estimating
+//!   Jaccard similarity between ColumnChunks.
+//! - [`lsh`]: a banded locality-sensitive-hash index that, given a new
+//!   chunk's signature, returns previously seen chunks with estimated
+//!   Jaccard similarity above a threshold τ — the paper uses this to route
+//!   similar chunks into the same Partition so they compress together.
+
+pub mod hash;
+pub mod lsh;
+pub mod minhash;
+
+pub use hash::{content_digest, xxhash64, ContentDigest};
+pub use lsh::LshIndex;
+pub use minhash::{discretize, MinHasher, Signature};

@@ -1,0 +1,193 @@
+//! MinHash signatures estimating Jaccard similarity between ColumnChunks.
+//!
+//! The paper detects *similar* (not identical) columns by MinHashing the
+//! chunk "after discretizing the values" (Sec 4.2.1). [`discretize`] does the
+//! discretization; [`MinHasher`] produces fixed-length signatures whose
+//! per-position agreement rate is an unbiased estimator of the Jaccard
+//! similarity of the underlying sets.
+
+use crate::hash::xxhash64;
+
+/// A MinHash signature: one minimum per hash function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Signature(pub Vec<u64>);
+
+impl Signature {
+    /// Estimate Jaccard similarity as the fraction of agreeing positions.
+    ///
+    /// # Panics
+    /// Panics if the signatures have different lengths.
+    pub fn jaccard_estimate(&self, other: &Signature) -> f64 {
+        assert_eq!(self.0.len(), other.0.len(), "signature length mismatch");
+        if self.0.is_empty() {
+            return 0.0;
+        }
+        let agree = self.0.iter().zip(&other.0).filter(|(a, b)| a == b).count();
+        agree as f64 / self.0.len() as f64
+    }
+}
+
+/// Produces MinHash signatures of a fixed length.
+///
+/// Instead of `k` independent hash passes, each element is hashed once with
+/// xxhash64 and then remixed per-position with a cheap multiply-xor — the
+/// standard "one permutation at a time" trade-off that keeps signature
+/// computation O(elements + k).
+#[derive(Clone, Debug)]
+pub struct MinHasher {
+    num_hashes: usize,
+    seeds: Vec<u64>,
+}
+
+impl MinHasher {
+    /// Create a MinHasher with `num_hashes` signature positions
+    /// (128 is the conventional default; the estimator's standard error is
+    /// about `1/sqrt(num_hashes)`).
+    pub fn new(num_hashes: usize) -> MinHasher {
+        assert!(num_hashes > 0, "need at least one hash");
+        // Derive per-position odd multipliers deterministically.
+        let seeds = (0..num_hashes)
+            .map(|i| xxhash64(&(i as u64).to_le_bytes(), 0x5eed) | 1)
+            .collect();
+        MinHasher { num_hashes, seeds }
+    }
+
+    /// Signature length.
+    pub fn num_hashes(&self) -> usize {
+        self.num_hashes
+    }
+
+    /// Compute the signature of a set of discretized elements.
+    /// An empty set yields a signature of `u64::MAX` everywhere.
+    pub fn signature(&self, elements: &[u64]) -> Signature {
+        let mut mins = vec![u64::MAX; self.num_hashes];
+        for &e in elements {
+            let base = xxhash64(&e.to_le_bytes(), 0);
+            for (m, &seed) in mins.iter_mut().zip(&self.seeds) {
+                // Per-position remix: multiply by an odd constant and xor-fold.
+                let h = base.wrapping_mul(seed);
+                let h = h ^ (h >> 31);
+                if h < *m {
+                    *m = h;
+                }
+            }
+        }
+        Signature(mins)
+    }
+}
+
+/// Discretize float values into set elements for MinHashing: each value maps
+/// to `round(v / bin_width)` encoded as a u64. Chunks whose values mostly
+/// fall in the same bins share elements and thus have high Jaccard.
+pub fn discretize(values: &[f64], bin_width: f64) -> Vec<u64> {
+    assert!(bin_width > 0.0, "bin width must be positive");
+    let mut set: Vec<u64> = values
+        .iter()
+        .map(|&v| {
+            let bin = (v / bin_width).round();
+            // Shift to keep negatives distinct from positives.
+            (bin as i64 as u64) ^ (1u64 << 63)
+        })
+        .collect();
+    set.sort_unstable();
+    set.dedup();
+    set
+}
+
+/// Exact Jaccard similarity between two sorted, deduplicated element sets
+/// (used in tests and calibration).
+pub fn jaccard_exact(a: &[u64], b: &[u64]) -> f64 {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut inter = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        return 1.0;
+    }
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_estimate_one() {
+        let h = MinHasher::new(64);
+        let set: Vec<u64> = (0..100).collect();
+        let s1 = h.signature(&set);
+        let s2 = h.signature(&set);
+        assert_eq!(s1.jaccard_estimate(&s2), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_estimate_near_zero() {
+        let h = MinHasher::new(128);
+        let a: Vec<u64> = (0..500).collect();
+        let b: Vec<u64> = (10_000..10_500).collect();
+        let est = h.signature(&a).jaccard_estimate(&h.signature(&b));
+        assert!(est < 0.1, "estimate {est}");
+    }
+
+    #[test]
+    fn estimate_tracks_true_jaccard() {
+        let h = MinHasher::new(256);
+        // 50% overlap: J = 1000 / 3000 ≈ 0.333...
+        let a: Vec<u64> = (0..2000).collect();
+        let b: Vec<u64> = (1000..3000).collect();
+        let truth = jaccard_exact(&a, &b);
+        let est = h.signature(&a).jaccard_estimate(&h.signature(&b));
+        assert!((est - truth).abs() < 0.12, "est {est} vs true {truth}");
+    }
+
+    #[test]
+    fn discretize_dedups_and_bins() {
+        let set = discretize(&[0.01, 0.02, 0.99, 1.01, -0.5], 0.5);
+        // bins: 0, 0, 2, 2, -1 -> {-1, 0, 2}
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn discretized_similar_columns_have_high_jaccard() {
+        let a: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        // b equals a with small perturbation well under the bin width.
+        let b: Vec<f64> = a.iter().map(|v| v + 0.01).collect();
+        let da = discretize(&a, 1.0);
+        let db = discretize(&b, 1.0);
+        assert!(jaccard_exact(&da, &db) > 0.95);
+    }
+
+    #[test]
+    fn empty_set_signature() {
+        let h = MinHasher::new(16);
+        let s = h.signature(&[]);
+        assert!(s.0.iter().all(|&v| v == u64::MAX));
+        // Two empty sets agree everywhere.
+        assert_eq!(s.jaccard_estimate(&h.signature(&[])), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_signatures_panic() {
+        let a = Signature(vec![1, 2]);
+        let b = Signature(vec![1]);
+        let _ = a.jaccard_estimate(&b);
+    }
+
+    #[test]
+    fn jaccard_exact_basics() {
+        assert_eq!(jaccard_exact(&[], &[]), 1.0);
+        assert_eq!(jaccard_exact(&[1, 2], &[3, 4]), 0.0);
+        assert_eq!(jaccard_exact(&[1, 2, 3], &[2, 3, 4]), 0.5);
+    }
+}

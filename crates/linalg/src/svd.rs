@@ -1,0 +1,258 @@
+//! Thin singular value decomposition via one-sided Jacobi rotations.
+//!
+//! One-sided Jacobi SVD is simple, numerically robust, and accurate for the
+//! modest matrix sizes SVCCA needs (thousands of rows, hundreds of columns).
+//! It orthogonalizes the columns of `A` by repeated plane rotations; on
+//! convergence the column norms are the singular values.
+
+use crate::matrix::Matrix;
+
+/// Result of a thin SVD: `A = U * diag(s) * V^T` with `U` being `m x r`,
+/// `s` of length `r`, and `V` being `n x r` where `r = min(m, n)`.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors, `m x r`, orthonormal columns.
+    pub u: Matrix,
+    /// Singular values in non-increasing order.
+    pub s: Vec<f64>,
+    /// Right singular vectors, `n x r`, orthonormal columns.
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Number of singular values above `tol * s[0]`.
+    pub fn numerical_rank(&self, tol: f64) -> usize {
+        let cutoff = self.s.first().copied().unwrap_or(0.0) * tol;
+        self.s.iter().take_while(|&&x| x > cutoff).count()
+    }
+
+    /// Smallest number of singular directions explaining `frac` of total
+    /// squared singular mass. This is the truncation rule SVCCA uses
+    /// ("directions explaining 99% variance", Alg. 2 line 2-3).
+    pub fn rank_for_variance(&self, frac: f64) -> usize {
+        let total: f64 = self.s.iter().map(|x| x * x).sum();
+        if total == 0.0 {
+            return 0;
+        }
+        let mut acc = 0.0;
+        for (i, x) in self.s.iter().enumerate() {
+            acc += x * x;
+            if acc >= frac * total {
+                return i + 1;
+            }
+        }
+        self.s.len()
+    }
+
+    /// Reconstruct `U * diag(s) * V^T`.
+    pub fn reconstruct(&self) -> Matrix {
+        let mut us = self.u.clone();
+        for i in 0..us.rows() {
+            for (j, &sv) in self.s.iter().enumerate() {
+                us[(i, j)] *= sv;
+            }
+        }
+        us.matmul(&self.v.transpose())
+    }
+}
+
+/// Compute the thin SVD of `a` using one-sided Jacobi rotations.
+///
+/// For matrices with more columns than rows, the decomposition is computed on
+/// the transpose and swapped back, keeping the working matrix tall.
+pub fn thin_svd(a: &Matrix) -> Svd {
+    if a.cols() > a.rows() {
+        let t = thin_svd(&a.transpose());
+        return Svd {
+            u: t.v,
+            s: t.s,
+            v: t.u,
+        };
+    }
+    one_sided_jacobi(a)
+}
+
+fn one_sided_jacobi(a: &Matrix) -> Svd {
+    let m = a.rows();
+    let n = a.cols();
+    // Work on columns: u starts as a copy of A, v accumulates rotations.
+    let mut u = a.clone();
+    let mut v = Matrix::identity(n);
+
+    let eps = 1e-12;
+    let max_sweeps = 60;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Gram entries for the column pair (p, q).
+                let mut app = 0.0;
+                let mut aqq = 0.0;
+                let mut apq = 0.0;
+                for i in 0..m {
+                    let up = u[(i, p)];
+                    let uq = u[(i, q)];
+                    app += up * up;
+                    aqq += uq * uq;
+                    apq += up * uq;
+                }
+                let denom = (app * aqq).sqrt();
+                if denom > 0.0 {
+                    off = off.max(apq.abs() / denom);
+                }
+                if apq.abs() <= eps * denom {
+                    continue;
+                }
+                // Jacobi rotation that zeroes the (p,q) Gram entry.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let up = u[(i, p)];
+                    let uq = u[(i, q)];
+                    u[(i, p)] = c * up - s * uq;
+                    u[(i, q)] = s * up + c * uq;
+                }
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)];
+                    v[(i, p)] = c * vp - s * vq;
+                    v[(i, q)] = s * vp + c * vq;
+                }
+            }
+        }
+        if off < eps {
+            break;
+        }
+    }
+
+    // Column norms are singular values; normalize U's columns.
+    let mut sv: Vec<(f64, usize)> = (0..n)
+        .map(|j| {
+            let norm = (0..m).map(|i| u[(i, j)] * u[(i, j)]).sum::<f64>().sqrt();
+            (norm, j)
+        })
+        .collect();
+    sv.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+
+    let mut u_sorted = Matrix::zeros(m, n);
+    let mut v_sorted = Matrix::zeros(n, n);
+    let mut s = Vec::with_capacity(n);
+    for (dst, &(norm, src)) in sv.iter().enumerate() {
+        s.push(norm);
+        if norm > 0.0 {
+            for i in 0..m {
+                u_sorted[(i, dst)] = u[(i, src)] / norm;
+            }
+        }
+        for i in 0..n {
+            v_sorted[(i, dst)] = v[(i, src)];
+        }
+    }
+    Svd {
+        u: u_sorted,
+        s,
+        v: v_sorted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn svd_of_diagonal_matrix() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 2.0]]);
+        let svd = thin_svd(&a);
+        assert_close(svd.s[0], 3.0, 1e-10);
+        assert_close(svd.s[1], 2.0, 1e-10);
+    }
+
+    #[test]
+    fn svd_reconstructs_input() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[4.0, 5.0, 6.0],
+            &[7.0, 8.0, 10.0],
+            &[0.5, -1.0, 2.0],
+        ]);
+        let svd = thin_svd(&a);
+        let r = svd.reconstruct();
+        assert!(r.max_abs_diff(&a) < 1e-8, "diff {}", r.max_abs_diff(&a));
+    }
+
+    #[test]
+    fn svd_wide_matrix_reconstructs() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 2.0, -1.0], &[3.0, 1.0, 0.0, 0.5]]);
+        let svd = thin_svd(&a);
+        assert_eq!(svd.u.rows(), 2);
+        assert_eq!(svd.v.rows(), 4);
+        let r = svd.reconstruct();
+        assert!(r.max_abs_diff(&a) < 1e-8);
+    }
+
+    #[test]
+    fn u_columns_orthonormal() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0], &[0.0, 1.0], &[4.0, -2.0]]);
+        let svd = thin_svd(&a);
+        let gram = svd.u.transpose().matmul(&svd.u);
+        assert!(gram.max_abs_diff(&Matrix::identity(2)) < 1e-8);
+    }
+
+    #[test]
+    fn singular_values_sorted_nonincreasing() {
+        let a = Matrix::from_rows(&[
+            &[0.1, 5.0, 0.2],
+            &[0.3, -4.0, 0.1],
+            &[9.0, 0.0, 0.0],
+            &[1.0, 1.0, 1.0],
+        ]);
+        let svd = thin_svd(&a);
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn rank_detection_on_rank_deficient_matrix() {
+        // Third column = first + second: rank 2.
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0, 1.0],
+            &[0.0, 1.0, 1.0],
+            &[1.0, 1.0, 2.0],
+            &[2.0, 0.0, 2.0],
+        ]);
+        let svd = thin_svd(&a);
+        assert_eq!(svd.numerical_rank(1e-9), 2);
+    }
+
+    #[test]
+    fn variance_rank_rule() {
+        let svd = Svd {
+            u: Matrix::identity(3),
+            s: vec![10.0, 1.0, 0.1],
+            v: Matrix::identity(3),
+        };
+        // 10^2 = 100 out of 101.01 total => first direction alone explains ~99%.
+        assert_eq!(svd.rank_for_variance(0.98), 1);
+        assert_eq!(svd.rank_for_variance(0.999), 2);
+        assert_eq!(svd.rank_for_variance(1.0), 3);
+    }
+
+    #[test]
+    fn svd_zero_matrix() {
+        let a = Matrix::zeros(3, 2);
+        let svd = thin_svd(&a);
+        assert!(svd.s.iter().all(|&x| x == 0.0));
+        assert_eq!(svd.rank_for_variance(0.99), 0);
+    }
+}

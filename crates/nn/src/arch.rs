@@ -1,0 +1,158 @@
+//! The two evaluation architectures.
+
+/// Specification of one layer in an architecture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LayerSpec {
+    /// 3×3 convolution to `out_c` channels, followed implicitly by ReLU.
+    Conv(usize),
+    /// 2×2 max pool.
+    Pool,
+    /// Fully connected to `out_f` features, followed implicitly by ReLU.
+    Dense(usize),
+    /// Final classifier head: dense to `n_classes` then softmax.
+    Classifier,
+}
+
+/// An architecture: layer specs plus input geometry and the training regime
+/// (which layers are frozen across checkpoints).
+#[derive(Clone, Debug)]
+pub struct ArchConfig {
+    /// Architecture name (`CIFAR10_VGG16` / `CIFAR10_CNN`).
+    pub name: String,
+    /// Input channels.
+    pub in_c: usize,
+    /// Input height/width (square).
+    pub in_hw: usize,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Layer specifications in order.
+    pub layers: Vec<LayerSpec>,
+    /// Number of leading specs whose weights are frozen across checkpoints
+    /// (the VGG16 fine-tuning setup freezes all 13 conv blocks).
+    pub frozen_prefix: usize,
+}
+
+/// VGG16 fine-tuned on CIFAR10 (paper Sec 7.1.2): 13 convolutional layers in
+/// the standard VGG16 channel progression, five pools, and a reduced
+/// two-layer fully-connected head. `channel_scale` divides every channel
+/// count so experiments fit laptop budgets while preserving the layer-size
+/// *geometry* (early layers are by far the largest — the Layer1 anomaly of
+/// Fig 5d/8 depends on this).
+pub fn vgg16_cifar(channel_scale: usize) -> ArchConfig {
+    assert!(channel_scale >= 1, "scale must be >= 1");
+    let s = |c: usize| (c / channel_scale).max(2);
+    let layers = vec![
+        LayerSpec::Conv(s(64)),
+        LayerSpec::Conv(s(64)),
+        LayerSpec::Pool,
+        LayerSpec::Conv(s(128)),
+        LayerSpec::Conv(s(128)),
+        LayerSpec::Pool,
+        LayerSpec::Conv(s(256)),
+        LayerSpec::Conv(s(256)),
+        LayerSpec::Conv(s(256)),
+        LayerSpec::Pool,
+        LayerSpec::Conv(s(512)),
+        LayerSpec::Conv(s(512)),
+        LayerSpec::Conv(s(512)),
+        LayerSpec::Pool,
+        LayerSpec::Conv(s(512)),
+        LayerSpec::Conv(s(512)),
+        LayerSpec::Conv(s(512)),
+        LayerSpec::Pool,
+        LayerSpec::Dense(s(512)),
+        LayerSpec::Classifier,
+    ];
+    // Freeze everything up to and including the last pool: only the
+    // fully-connected head trains during fine-tuning.
+    let frozen_prefix = 18;
+    ArchConfig {
+        name: "CIFAR10_VGG16".to_string(),
+        in_c: 3,
+        in_hw: 32,
+        n_classes: 10,
+        layers,
+        frozen_prefix,
+    }
+}
+
+/// The simple Keras-style CIFAR10 CNN (4 conv + 2 FC), trained from scratch:
+/// no frozen layers, so every checkpoint's intermediates differ.
+pub fn simple_cnn(channel_scale: usize) -> ArchConfig {
+    assert!(channel_scale >= 1, "scale must be >= 1");
+    let s = |c: usize| (c / channel_scale).max(2);
+    ArchConfig {
+        name: "CIFAR10_CNN".to_string(),
+        in_c: 3,
+        in_hw: 32,
+        n_classes: 10,
+        layers: vec![
+            LayerSpec::Conv(s(32)),
+            LayerSpec::Conv(s(32)),
+            LayerSpec::Pool,
+            LayerSpec::Conv(s(64)),
+            LayerSpec::Conv(s(64)),
+            LayerSpec::Pool,
+            LayerSpec::Dense(s(512)),
+            LayerSpec::Classifier,
+        ],
+        frozen_prefix: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_has_13_convs_5_pools() {
+        let a = vgg16_cifar(8);
+        let convs = a
+            .layers
+            .iter()
+            .filter(|l| matches!(l, LayerSpec::Conv(_)))
+            .count();
+        let pools = a
+            .layers
+            .iter()
+            .filter(|l| matches!(l, LayerSpec::Pool))
+            .count();
+        assert_eq!(convs, 13);
+        assert_eq!(pools, 5);
+        assert!(a.frozen_prefix > 0, "conv stack is frozen");
+    }
+
+    #[test]
+    fn simple_cnn_not_frozen() {
+        let a = simple_cnn(4);
+        assert_eq!(a.frozen_prefix, 0);
+        let convs = a
+            .layers
+            .iter()
+            .filter(|l| matches!(l, LayerSpec::Conv(_)))
+            .count();
+        assert_eq!(convs, 4);
+    }
+
+    #[test]
+    fn channel_scale_divides_widths() {
+        let full = vgg16_cifar(1);
+        let eighth = vgg16_cifar(8);
+        let first_c = |a: &ArchConfig| match a.layers[0] {
+            LayerSpec::Conv(c) => c,
+            _ => unreachable!(),
+        };
+        assert_eq!(first_c(&full), 64);
+        assert_eq!(first_c(&eighth), 8);
+    }
+
+    #[test]
+    fn extreme_scale_clamps_to_min_channels() {
+        let tiny = vgg16_cifar(1000);
+        for l in &tiny.layers {
+            if let LayerSpec::Conv(c) = l {
+                assert!(*c >= 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! Network layers: forward passes only.
+
+use crate::tensor::Tensor;
+
+/// Activation fused into a Conv2d or Dense layer. Fusing keeps the layer
+/// enumeration aligned with the paper's "Layer1..Layer21" numbering for
+/// VGG16 (13 conv + 5 pool + flatten + 2 FC).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// No activation.
+    Linear,
+    /// `max(0, x)`.
+    Relu,
+    /// Row-wise softmax (classifier head).
+    Softmax,
+}
+
+/// A network layer. Convolution is 3×3, stride 1, zero-padding 1 (the VGG
+/// configuration); pooling is 2×2 max with stride 2.
+#[derive(Clone, Debug)]
+pub enum Layer {
+    /// 3×3 convolution with padding 1: weights `[out_c][in_c][3][3]` (flat).
+    Conv2d {
+        /// Input channels.
+        in_c: usize,
+        /// Output channels.
+        out_c: usize,
+        /// Flat kernel weights, length `out_c * in_c * 9`.
+        weights: Vec<f32>,
+        /// Per-output-channel bias.
+        bias: Vec<f32>,
+        /// Fused activation applied to the output.
+        activation: Activation,
+    },
+    /// Element-wise `max(0, x)`.
+    Relu,
+    /// 2×2 max pooling with stride 2 (floor semantics on odd dims).
+    MaxPool2,
+    /// Reshape NCHW to N×(C·H·W)×1×1.
+    Flatten,
+    /// Fully connected: weights `[out][in]` (flat) and bias `[out]`.
+    Dense {
+        /// Input features.
+        in_f: usize,
+        /// Output features.
+        out_f: usize,
+        /// Flat weights, length `out_f * in_f`.
+        weights: Vec<f32>,
+        /// Per-output bias.
+        bias: Vec<f32>,
+        /// Fused activation applied to the output.
+        activation: Activation,
+    },
+    /// Row-wise softmax over the channel dimension (expects `h = w = 1`).
+    Softmax,
+}
+
+impl Layer {
+    /// Parameter count (weights + biases).
+    pub fn n_params(&self) -> usize {
+        match self {
+            Layer::Conv2d { weights, bias, .. } => weights.len() + bias.len(),
+            Layer::Dense { weights, bias, .. } => weights.len() + bias.len(),
+            _ => 0,
+        }
+    }
+
+    /// Output shape `(c, h, w)` for an input of shape `(c, h, w)`.
+    pub fn output_shape(&self, c: usize, h: usize, w: usize) -> (usize, usize, usize) {
+        match self {
+            Layer::Conv2d { in_c, out_c, .. } => {
+                assert_eq!(*in_c, c, "conv input channels mismatch");
+                (*out_c, h, w)
+            }
+            Layer::Relu => (c, h, w),
+            Layer::MaxPool2 => (c, h / 2, w / 2),
+            Layer::Flatten => (c * h * w, 1, 1),
+            Layer::Dense { in_f, out_f, .. } => {
+                assert_eq!(*in_f, c * h * w, "dense input features mismatch");
+                (*out_f, 1, 1)
+            }
+            Layer::Softmax => (c, h, w),
+        }
+    }
+
+    /// Approximate multiply-accumulate count per example, the basis of the
+    /// cost model's per-layer forward cost.
+    pub fn flops_per_example(&self, c: usize, h: usize, w: usize) -> u64 {
+        match self {
+            Layer::Conv2d { in_c, out_c, .. } => (out_c * in_c * 9 * h * w) as u64,
+            Layer::Dense { in_f, out_f, .. } => (in_f * out_f) as u64,
+            _ => (c * h * w) as u64,
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        match self {
+            Layer::Conv2d {
+                in_c,
+                out_c,
+                weights,
+                bias,
+                activation,
+            } => {
+                let out = conv2d_3x3(x, *in_c, *out_c, weights, bias);
+                apply_activation(out, *activation)
+            }
+            Layer::Relu => {
+                let mut out = x.clone();
+                for v in &mut out.data {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+                out
+            }
+            Layer::MaxPool2 => maxpool2(x),
+            Layer::Flatten => Tensor {
+                n: x.n,
+                c: x.features_per_example(),
+                h: 1,
+                w: 1,
+                data: x.data.clone(),
+            },
+            Layer::Dense {
+                in_f,
+                out_f,
+                weights,
+                bias,
+                activation,
+            } => {
+                let out = dense(x, *in_f, *out_f, weights, bias);
+                apply_activation(out, *activation)
+            }
+            Layer::Softmax => softmax(x),
+        }
+    }
+}
+
+fn apply_activation(mut t: Tensor, a: Activation) -> Tensor {
+    match a {
+        Activation::Linear => t,
+        Activation::Relu => {
+            for v in &mut t.data {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+            t
+        }
+        Activation::Softmax => softmax(&t),
+    }
+}
+
+fn conv2d_3x3(x: &Tensor, in_c: usize, out_c: usize, weights: &[f32], bias: &[f32]) -> Tensor {
+    assert_eq!(x.c, in_c, "conv input channels mismatch");
+    assert_eq!(weights.len(), out_c * in_c * 9, "conv weights length");
+    assert_eq!(bias.len(), out_c, "conv bias length");
+    let (h, w) = (x.h, x.w);
+    let mut out = Tensor::zeros(x.n, out_c, h, w);
+    for n in 0..x.n {
+        for oc in 0..out_c {
+            let b = bias[oc];
+            for ic in 0..in_c {
+                let k = &weights[(oc * in_c + ic) * 9..(oc * in_c + ic) * 9 + 9];
+                for oy in 0..h {
+                    for ox in 0..w {
+                        let mut acc = 0.0f32;
+                        // 3x3 window, zero padding.
+                        for ky in 0..3usize {
+                            let iy = oy as isize + ky as isize - 1;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..3usize {
+                                let ix = ox as isize + kx as isize - 1;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += k[ky * 3 + kx] * x.at(n, ic, iy as usize, ix as usize);
+                            }
+                        }
+                        *out.at_mut(n, oc, oy, ox) += acc;
+                    }
+                }
+            }
+            // Apply bias once per output cell.
+            for oy in 0..h {
+                for ox in 0..w {
+                    *out.at_mut(n, oc, oy, ox) += b;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn maxpool2(x: &Tensor) -> Tensor {
+    let (oh, ow) = (x.h / 2, x.w / 2);
+    assert!(
+        oh > 0 && ow > 0,
+        "maxpool on too-small input {}x{}",
+        x.h,
+        x.w
+    );
+    let mut out = Tensor::zeros(x.n, x.c, oh, ow);
+    for n in 0..x.n {
+        for c in 0..x.c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let m = x
+                        .at(n, c, oy * 2, ox * 2)
+                        .max(x.at(n, c, oy * 2, ox * 2 + 1))
+                        .max(x.at(n, c, oy * 2 + 1, ox * 2))
+                        .max(x.at(n, c, oy * 2 + 1, ox * 2 + 1));
+                    *out.at_mut(n, c, oy, ox) = m;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn dense(x: &Tensor, in_f: usize, out_f: usize, weights: &[f32], bias: &[f32]) -> Tensor {
+    assert_eq!(
+        x.features_per_example(),
+        in_f,
+        "dense input features mismatch"
+    );
+    assert_eq!(weights.len(), out_f * in_f, "dense weights length");
+    let mut out = Tensor::zeros(x.n, out_f, 1, 1);
+    for n in 0..x.n {
+        let row = x.example(n);
+        for o in 0..out_f {
+            let wrow = &weights[o * in_f..(o + 1) * in_f];
+            let mut acc = bias[o];
+            for (a, b) in row.iter().zip(wrow) {
+                acc += a * b;
+            }
+            out.data[n * out_f + o] = acc;
+        }
+    }
+    out
+}
+
+fn softmax(x: &Tensor) -> Tensor {
+    assert_eq!(x.h * x.w, 1, "softmax expects flattened input");
+    let mut out = x.clone();
+    let c = x.c;
+    for n in 0..x.n {
+        let row = &mut out.data[n * c..(n + 1) * c];
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_vec(1, 4, 1, 1, vec![-1.0, 0.0, 2.0, -0.5]);
+        let y = Layer::Relu.forward(&x);
+        assert_eq!(y.data, vec![0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn identity_conv_kernel_preserves_input() {
+        // Kernel with 1 at the center acts as identity.
+        let mut weights = vec![0.0f32; 9];
+        weights[4] = 1.0;
+        let layer = Layer::Conv2d {
+            in_c: 1,
+            out_c: 1,
+            weights,
+            bias: vec![0.0],
+            activation: Activation::Linear,
+        };
+        let x = Tensor::from_vec(1, 1, 3, 3, (1..=9).map(|i| i as f32).collect());
+        let y = layer.forward(&x);
+        assert_eq!(y.data, x.data);
+    }
+
+    #[test]
+    fn conv_averaging_kernel_on_constant_input() {
+        // All-ones kernel over constant input: interior cells see 9 values,
+        // corner cells only 4 (zero padding).
+        let layer = Layer::Conv2d {
+            in_c: 1,
+            out_c: 1,
+            weights: vec![1.0; 9],
+            bias: vec![0.0],
+            activation: Activation::Linear,
+        };
+        let x = Tensor::from_vec(1, 1, 3, 3, vec![1.0; 9]);
+        let y = layer.forward(&x);
+        assert_eq!(y.at(0, 0, 1, 1), 9.0);
+        assert_eq!(y.at(0, 0, 0, 0), 4.0);
+        assert_eq!(y.at(0, 0, 0, 1), 6.0);
+    }
+
+    #[test]
+    fn conv_bias_and_multi_channel() {
+        // Two input channels summed, bias added.
+        let mut weights = vec![0.0f32; 2 * 9];
+        weights[4] = 1.0; // center of channel 0
+        weights[9 + 4] = 2.0; // center of channel 1
+        let layer = Layer::Conv2d {
+            in_c: 2,
+            out_c: 1,
+            weights,
+            bias: vec![10.0],
+            activation: Activation::Linear,
+        };
+        let x = Tensor::from_vec(1, 2, 1, 1, vec![3.0, 4.0]);
+        let y = layer.forward(&x);
+        assert_eq!(y.data, vec![3.0 + 8.0 + 10.0]);
+    }
+
+    #[test]
+    fn maxpool_picks_window_max() {
+        #[rustfmt::skip]
+        let x = Tensor::from_vec(1, 1, 4, 4, vec![
+            1.0, 2.0, 5.0, 6.0,
+            3.0, 4.0, 7.0, 8.0,
+            9.0, 10.0, 13.0, 14.0,
+            11.0, 12.0, 15.0, 16.0,
+        ]);
+        let y = Layer::MaxPool2.forward(&x);
+        assert_eq!(y.data, vec![4.0, 8.0, 12.0, 16.0]);
+        assert_eq!((y.h, y.w), (2, 2));
+    }
+
+    #[test]
+    fn dense_computes_affine_map() {
+        let layer = Layer::Dense {
+            in_f: 2,
+            out_f: 2,
+            weights: vec![1.0, 2.0, 3.0, 4.0], // rows: [1,2], [3,4]
+            bias: vec![0.5, -0.5],
+            activation: Activation::Linear,
+        };
+        let x = Tensor::from_vec(1, 2, 1, 1, vec![10.0, 20.0]);
+        let y = layer.forward(&x);
+        assert_eq!(y.data, vec![50.5, 109.5]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(2, 3, 1, 1, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let y = Layer::Softmax.forward(&x);
+        for n in 0..2 {
+            let sum: f32 = y.data[n * 3..(n + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Largest logit gets the largest probability.
+        assert!(y.data[2] > y.data[1] && y.data[1] > y.data[0]);
+    }
+
+    #[test]
+    fn flatten_reshapes() {
+        let x = Tensor::zeros(2, 3, 4, 4);
+        let y = Layer::Flatten.forward(&x);
+        assert_eq!((y.c, y.h, y.w), (48, 1, 1));
+        assert_eq!(y.n, 2);
+    }
+
+    #[test]
+    fn output_shapes_compose() {
+        let conv = Layer::Conv2d {
+            in_c: 3,
+            out_c: 8,
+            weights: vec![0.0; 8 * 3 * 9],
+            bias: vec![0.0; 8],
+            activation: Activation::Relu,
+        };
+        assert_eq!(conv.output_shape(3, 32, 32), (8, 32, 32));
+        assert_eq!(Layer::MaxPool2.output_shape(8, 32, 32), (8, 16, 16));
+        assert_eq!(Layer::Flatten.output_shape(8, 4, 4), (128, 1, 1));
+    }
+}

@@ -1,0 +1,33 @@
+//! DNN inference substrate (Sec 7.1.2's CIFAR10 models, built from scratch).
+//!
+//! MISTIQUE logs the *hidden representations* a network produces at every
+//! layer. The paper uses TensorFlow; here the forward pass is implemented
+//! directly:
+//!
+//! - [`tensor::Tensor`]: NCHW f32 tensors,
+//! - [`layer::Layer`]: Conv2d (3×3, pad 1), ReLU, MaxPool 2×2, Flatten,
+//!   Dense, Softmax,
+//! - [`model::Model`]: a sequential network with named layers,
+//!   per-layer activation capture, and deterministic per-epoch checkpoints,
+//! - [`arch`]: the two evaluation architectures — `vgg16_cifar` (13 conv +
+//!   2 FC head; conv weights *frozen* across checkpoints, mirroring the
+//!   paper's fine-tuning setup where only the head trains) and `simple_cnn`
+//!   (4 conv + 2 FC, everything trains ⇒ every checkpoint differs),
+//! - [`dataset`]: deterministic synthetic CIFAR10-like images with
+//!   class-dependent structure, so class-sensitive diagnostics (KNN, SVCCA,
+//!   per-class averages) have signal to find.
+//!
+//! Only inference is needed: the paper's diagnostics all consume forward
+//! activations of checkpointed weights, never gradients.
+
+pub mod arch;
+pub mod dataset;
+pub mod layer;
+pub mod model;
+pub mod tensor;
+
+pub use arch::{simple_cnn, vgg16_cifar, ArchConfig};
+pub use dataset::CifarLike;
+pub use layer::Layer;
+pub use model::Model;
+pub use tensor::Tensor;

@@ -1,0 +1,141 @@
+//! NCHW tensors.
+
+/// A dense f32 tensor in NCHW layout (batch, channels, height, width).
+/// Fully-connected activations use `h = w = 1`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    /// Batch size.
+    pub n: usize,
+    /// Channels (or features for dense layers).
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    /// Row-major NCHW data, length `n * c * h * w`.
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A zero tensor of the given shape.
+    pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Tensor {
+        Tensor {
+            n,
+            c,
+            h,
+            w,
+            data: vec![0.0; n * c * h * w],
+        }
+    }
+
+    /// Wrap existing data.
+    ///
+    /// # Panics
+    /// Panics if the data length does not match the shape.
+    pub fn from_vec(n: usize, c: usize, h: usize, w: usize, data: Vec<f32>) -> Tensor {
+        assert_eq!(data.len(), n * c * h * w, "tensor shape mismatch");
+        Tensor { n, c, h, w, data }
+    }
+
+    /// Features per example (`c * h * w`).
+    #[inline]
+    pub fn features_per_example(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow example `i`'s features as a contiguous slice.
+    #[inline]
+    pub fn example(&self, i: usize) -> &[f32] {
+        let f = self.features_per_example();
+        &self.data[i * f..(i + 1) * f]
+    }
+
+    /// Value at `(n, c, h, w)`.
+    #[inline]
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[((n * self.c + c) * self.h + h) * self.w + w]
+    }
+
+    /// Mutable value at `(n, c, h, w)`.
+    #[inline]
+    pub fn at_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        &mut self.data[((n * self.c + c) * self.h + h) * self.w + w]
+    }
+
+    /// Select a batch sub-range `[start, end)` of examples.
+    pub fn slice_examples(&self, start: usize, end: usize) -> Tensor {
+        let f = self.features_per_example();
+        Tensor {
+            n: end - start,
+            c: self.c,
+            h: self.h,
+            w: self.w,
+            data: self.data[start * f..end * f].to_vec(),
+        }
+    }
+
+    /// Concatenate tensors along the batch dimension.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or empty input.
+    pub fn concat_examples(parts: &[Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "nothing to concatenate");
+        let (c, h, w) = (parts[0].c, parts[0].h, parts[0].w);
+        let mut data = Vec::with_capacity(parts.iter().map(|t| t.len()).sum());
+        let mut n = 0;
+        for t in parts {
+            assert_eq!((t.c, t.h, t.w), (c, h, w), "shape mismatch in concat");
+            data.extend_from_slice(&t.data);
+            n += t.n;
+        }
+        Tensor { n, c, h, w, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_matches_layout() {
+        let mut t = Tensor::zeros(2, 3, 4, 5);
+        *t.at_mut(1, 2, 3, 4) = 7.0;
+        assert_eq!(t.at(1, 2, 3, 4), 7.0);
+        assert_eq!(t.data[((3 + 2) * 4 + 3) * 5 + 4], 7.0);
+    }
+
+    #[test]
+    fn example_slices_are_contiguous() {
+        let data: Vec<f32> = (0..24).map(|i| i as f32).collect();
+        let t = Tensor::from_vec(2, 3, 2, 2, data);
+        assert_eq!(t.features_per_example(), 12);
+        assert_eq!(t.example(1)[0], 12.0);
+    }
+
+    #[test]
+    fn slice_and_concat_roundtrip() {
+        let data: Vec<f32> = (0..40).map(|i| i as f32).collect();
+        let t = Tensor::from_vec(4, 10, 1, 1, data);
+        let a = t.slice_examples(0, 2);
+        let b = t.slice_examples(2, 4);
+        let back = Tensor::concat_examples(&[a, b]);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn bad_shape_panics() {
+        Tensor::from_vec(1, 2, 2, 2, vec![0.0; 7]);
+    }
+}

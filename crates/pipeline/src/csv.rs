@@ -1,0 +1,149 @@
+//! A minimal CSV codec for the Zillow source tables.
+//!
+//! The paper's pipelines start from `ReadCSV` stages that parse real files;
+//! reproducing the re-run cost of a pipeline therefore requires ReadCSV to
+//! do real parsing work, not an in-memory clone. Types are encoded in the
+//! header (`name:f64`), missing f64 values serialize as empty cells.
+
+use mistique_dataframe::{Column, ColumnData, DataFrame};
+
+/// Serialize a dataframe to CSV text with typed headers.
+///
+/// Supported column types: f64, i64, categorical. (The Zillow tables use
+/// only these.)
+pub fn frame_to_csv(df: &DataFrame) -> String {
+    let mut out = String::new();
+    let headers: Vec<String> = df
+        .columns()
+        .iter()
+        .map(|c| {
+            let t = match c.data {
+                ColumnData::F64(_) => "f64",
+                ColumnData::I64(_) => "i64",
+                ColumnData::Cat { .. } => "cat",
+                _ => panic!("unsupported CSV column type {:?}", c.data.dtype()),
+            };
+            format!("{}:{}", c.name, t)
+        })
+        .collect();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in 0..df.n_rows() {
+        let cells: Vec<String> = df
+            .columns()
+            .iter()
+            .map(|c| match &c.data {
+                ColumnData::F64(v) => {
+                    if v[row].is_nan() {
+                        String::new()
+                    } else {
+                        // Full round-trip precision.
+                        format!("{:?}", v[row])
+                    }
+                }
+                ColumnData::I64(v) => v[row].to_string(),
+                ColumnData::Cat { .. } => c.data.cat_value(row).unwrap_or("").to_string(),
+                _ => unreachable!(),
+            })
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse CSV text produced by [`frame_to_csv`].
+///
+/// # Panics
+/// Panics on malformed input — the source tables are generated internally,
+/// so malformed CSV is a bug, not a runtime condition.
+pub fn csv_to_frame(text: &str) -> DataFrame {
+    let mut lines = text.lines();
+    let header = lines.next().expect("CSV header");
+    let specs: Vec<(&str, &str)> = header
+        .split(',')
+        .map(|h| h.split_once(':').expect("typed header"))
+        .collect();
+
+    enum Builder {
+        F64(Vec<f64>),
+        I64(Vec<i64>),
+        Cat(Vec<String>),
+    }
+    let mut builders: Vec<Builder> = specs
+        .iter()
+        .map(|(_, t)| match *t {
+            "f64" => Builder::F64(Vec::new()),
+            "i64" => Builder::I64(Vec::new()),
+            "cat" => Builder::Cat(Vec::new()),
+            other => panic!("unknown CSV type {other}"),
+        })
+        .collect();
+
+    // `str::lines` never yields a trailing empty line, so every yielded line
+    // is a data row — including "" for a single-column row with a NaN cell.
+    for line in lines {
+        for (cell, builder) in line.split(',').zip(&mut builders) {
+            match builder {
+                Builder::F64(v) => v.push(if cell.is_empty() {
+                    f64::NAN
+                } else {
+                    cell.parse().expect("f64 cell")
+                }),
+                Builder::I64(v) => v.push(cell.parse().expect("i64 cell")),
+                Builder::Cat(v) => v.push(cell.to_string()),
+            }
+        }
+    }
+
+    let columns = specs
+        .iter()
+        .zip(builders)
+        .map(|((name, _), b)| match b {
+            Builder::F64(v) => Column::f64(*name, v),
+            Builder::I64(v) => Column::i64(*name, v),
+            Builder::Cat(v) => Column::new(*name, ColumnData::cat_from_strings(&v)),
+        })
+        .collect();
+    DataFrame::from_columns(columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_typed_frame() {
+        let df = DataFrame::from_columns(vec![
+            Column::i64("id", vec![1, 2, 3]),
+            Column::f64("x", vec![1.5, f64::NAN, -2.25e10]),
+            Column::new("c", ColumnData::cat_from_strings(&["a", "b", "a"])),
+        ]);
+        let text = frame_to_csv(&df);
+        let back = csv_to_frame(&text);
+        assert_eq!(back, df);
+    }
+
+    #[test]
+    fn nan_serializes_as_empty_cell() {
+        let df = DataFrame::from_columns(vec![Column::f64("x", vec![f64::NAN])]);
+        let text = frame_to_csv(&df);
+        assert!(text.lines().nth(1).unwrap().is_empty());
+        let back = csv_to_frame(&text);
+        assert!(back.column("x").unwrap().data.to_f64()[0].is_nan());
+    }
+
+    #[test]
+    fn full_f64_precision_preserved() {
+        let vals = vec![0.1 + 0.2, 1e-300, std::f64::consts::PI];
+        let df = DataFrame::from_columns(vec![Column::f64("x", vals.clone())]);
+        let back = csv_to_frame(&frame_to_csv(&df));
+        assert_eq!(back.column("x").unwrap().data.to_f64(), vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "typed header")]
+    fn untyped_header_rejected() {
+        csv_to_frame("justname\n1\n");
+    }
+}

@@ -1,0 +1,22 @@
+//! Trainable regression models for the TRAD pipelines.
+//!
+//! The Zillow scripts use XGBoost, LightGBM, and scikit-learn's ElasticNet.
+//! We implement the two algorithm families from scratch:
+//! [`elasticnet::ElasticNet`] (coordinate descent) and [`gbdt::Gbdt`]
+//! (gradient-boosted regression trees) — the latter is instantiated with
+//! XGBoost-flavoured and LightGBM-flavoured hyper-parameter surfaces by the
+//! pipeline templates.
+
+pub mod elasticnet;
+pub mod gbdt;
+pub mod tree;
+
+pub use elasticnet::ElasticNet;
+pub use gbdt::{Gbdt, GbdtParams};
+pub use tree::{RegressionTree, TreeParams};
+
+/// A fitted regression model that predicts from a row-major feature matrix.
+pub trait Regressor {
+    /// Predict one value per row of `x` (`n_rows x n_features`, row-major).
+    fn predict(&self, x: &[f64], n_features: usize) -> Vec<f64>;
+}

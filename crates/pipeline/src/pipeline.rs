@@ -1,0 +1,259 @@
+//! Executable pipelines: an ordered list of stages, each emitting one
+//! intermediate dataframe.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use mistique_dataframe::DataFrame;
+
+use crate::data::ZillowData;
+use crate::model::{ElasticNet, Gbdt, Regressor};
+use crate::stage::Stage;
+
+/// A model fitted by a train stage and registered in the context.
+#[derive(Clone, Debug)]
+pub enum FittedModel {
+    /// ElasticNet regression.
+    Elastic(ElasticNet),
+    /// Boosted-tree regression.
+    Gbdt(Gbdt),
+}
+
+impl Regressor for FittedModel {
+    fn predict(&self, x: &[f64], n_features: usize) -> Vec<f64> {
+        match self {
+            FittedModel::Elastic(m) => m.predict(x, n_features),
+            FittedModel::Gbdt(m) => m.predict(x, n_features),
+        }
+    }
+}
+
+/// Mutable execution state threaded through a pipeline run.
+pub struct PipelineContext {
+    /// The source tables (the paper's `input_func`).
+    pub data: ZillowData,
+    /// Named frames produced so far.
+    pub frames: HashMap<String, DataFrame>,
+    /// Models registered by train stages.
+    pub models: HashMap<String, FittedModel>,
+    /// Hyper-parameter settings for this pipeline variant.
+    pub hyper: HashMap<String, f64>,
+    /// Seed for any stochastic stage (model subsampling).
+    pub seed: u64,
+}
+
+impl PipelineContext {
+    /// Create a fresh context.
+    pub fn new(data: ZillowData, hyper: HashMap<String, f64>, seed: u64) -> PipelineContext {
+        PipelineContext {
+            data,
+            frames: HashMap::new(),
+            models: HashMap::new(),
+            hyper,
+            seed,
+        }
+    }
+
+    /// Borrow a frame by name.
+    ///
+    /// # Panics
+    /// Panics if the frame does not exist (a pipeline wiring bug).
+    pub fn frame(&self, name: &str) -> &DataFrame {
+        self.frames
+            .get(name)
+            .unwrap_or_else(|| panic!("no frame named {name}"))
+    }
+
+    /// Remove and return a frame (stages that transform in place re-insert).
+    pub fn take_frame(&mut self, name: &str) -> DataFrame {
+        self.frames
+            .remove(name)
+            .unwrap_or_else(|| panic!("no frame named {name}"))
+    }
+
+    /// Borrow a registered model.
+    ///
+    /// # Panics
+    /// Panics if the model does not exist.
+    pub fn model(&self, name: &str) -> &FittedModel {
+        self.models
+            .get(name)
+            .unwrap_or_else(|| panic!("no model named {name}"))
+    }
+}
+
+/// The record of one executed stage: its intermediate and the wall-clock
+/// execution time (the cost model's `t_exec_xformer`).
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Stage index in the pipeline.
+    pub stage_index: usize,
+    /// Intermediate id: `<pipeline>.interm<idx>_<StageKind>`.
+    pub intermediate_id: String,
+    /// The intermediate dataframe the stage emitted.
+    pub output: DataFrame,
+    /// Time spent executing the stage.
+    pub exec_time: Duration,
+}
+
+/// A named pipeline: an id, a stage list, and hyper-parameter settings.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    /// Unique pipeline id (e.g. `P3_v2`).
+    pub id: String,
+    /// Ordered stages.
+    pub stages: Vec<Stage>,
+    /// Hyper-parameter settings for this variant.
+    pub hyper: HashMap<String, f64>,
+    /// Seed for stochastic stages.
+    pub seed: u64,
+}
+
+impl Pipeline {
+    /// Create a pipeline.
+    pub fn new(
+        id: impl Into<String>,
+        stages: Vec<Stage>,
+        hyper: HashMap<String, f64>,
+        seed: u64,
+    ) -> Pipeline {
+        Pipeline {
+            id: id.into(),
+            stages,
+            hyper,
+            seed,
+        }
+    }
+
+    /// Intermediate id for stage `i` of this pipeline.
+    pub fn intermediate_id(&self, i: usize) -> String {
+        format!("{}.interm{}_{}", self.id, i, self.stages[i].kind())
+    }
+
+    /// Run the whole pipeline, returning one [`RunRecord`] per stage.
+    pub fn run(&self, data: &ZillowData) -> Vec<RunRecord> {
+        self.run_to(data, self.stages.len().saturating_sub(1))
+    }
+
+    /// Run stages `0..=upto`, e.g. to recreate intermediate `upto`
+    /// (the cost model's `t_re-run` path, Eq. 2).
+    pub fn run_to(&self, data: &ZillowData, upto: usize) -> Vec<RunRecord> {
+        assert!(upto < self.stages.len(), "stage {upto} out of range");
+        let mut ctx = PipelineContext::new(data.clone(), self.hyper.clone(), self.seed);
+        let mut records = Vec::with_capacity(upto + 1);
+        for (i, stage) in self.stages.iter().take(upto + 1).enumerate() {
+            let start = Instant::now();
+            let output = stage.execute(&mut ctx);
+            records.push(RunRecord {
+                stage_index: i,
+                intermediate_id: self.intermediate_id(i),
+                output,
+                exec_time: start.elapsed(),
+            });
+        }
+        records
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when the pipeline has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::{GbdtFlavor, Table};
+
+    fn tiny_pipeline(id: &str, eta: f64) -> Pipeline {
+        let mut hyper = HashMap::new();
+        hyper.insert("eta".to_string(), eta);
+        Pipeline::new(
+            id,
+            vec![
+                Stage::ReadCsv {
+                    table: Table::Properties,
+                },
+                Stage::ReadCsv {
+                    table: Table::Train,
+                },
+                Stage::FillNa {
+                    frame: "properties".into(),
+                },
+                Stage::Join {
+                    left: "train".into(),
+                    right: "properties".into(),
+                    on: "parcel_id".into(),
+                    out: "merged".into(),
+                },
+                Stage::TrainGbdt {
+                    frame: "merged".into(),
+                    y_col: "logerror".into(),
+                    name: "m".into(),
+                    flavor: GbdtFlavor::Xgboost,
+                },
+                Stage::Predict {
+                    model: "m".into(),
+                    frame: "merged".into(),
+                    out: "preds".into(),
+                },
+            ],
+            hyper,
+            3,
+        )
+    }
+
+    #[test]
+    fn run_produces_one_record_per_stage() {
+        let data = ZillowData::generate(200, 1);
+        let p = tiny_pipeline("P", 0.1);
+        let records = p.run(&data);
+        assert_eq!(records.len(), 6);
+        assert_eq!(records[0].intermediate_id, "P.interm0_ReadCSV");
+        assert_eq!(records[5].intermediate_id, "P.interm5_Predict");
+    }
+
+    #[test]
+    fn rerun_reproduces_identical_intermediates() {
+        let data = ZillowData::generate(200, 1);
+        let p = tiny_pipeline("P", 0.1);
+        let a = p.run(&data);
+        let b = p.run(&data);
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.output, rb.output, "stage {}", ra.stage_index);
+        }
+    }
+
+    #[test]
+    fn run_to_stops_early() {
+        let data = ZillowData::generate(200, 1);
+        let p = tiny_pipeline("P", 0.1);
+        let records = p.run_to(&data, 3);
+        assert_eq!(records.len(), 4);
+    }
+
+    #[test]
+    fn variants_share_all_but_predictions() {
+        // Two variants differing only in `eta`: every intermediate before the
+        // train stage is byte-identical (the dedup goldmine of Fig 6a).
+        let data = ZillowData::generate(200, 1);
+        let a = tiny_pipeline("A", 0.05).run(&data);
+        let b = tiny_pipeline("B", 0.3).run(&data);
+        for i in 0..4 {
+            assert_eq!(a[i].output, b[i].output, "shared stage {i}");
+        }
+        assert_ne!(a[5].output, b[5].output, "predictions must differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn run_to_out_of_range_panics() {
+        let data = ZillowData::generate(50, 1);
+        tiny_pipeline("P", 0.1).run_to(&data, 99);
+    }
+}

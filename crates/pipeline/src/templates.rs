@@ -1,0 +1,518 @@
+//! The ten Zillow pipeline templates of Appendix E (Table 4), each
+//! instantiated with five hyper-parameter variants → 50 pipelines.
+//!
+//! Notes on fidelity:
+//! - Table 4 annotates repeated applications, e.g. `Predict (2)` = once on
+//!   the holdout split, once on the test set. Each application is a separate
+//!   stage here, so each emits its own intermediate.
+//! - P7's row in Table 4 lists tree hyper-parameters (`eta`, `max_depth`,
+//!   `bagging_fraction`) against a `TrainElasticNet` stage — an apparent typo
+//!   in the paper; we instantiate P7 with LightGBM to match its
+//!   hyper-parameters (documented in DESIGN.md).
+
+use std::collections::HashMap;
+
+use crate::pipeline::Pipeline;
+use crate::stage::{GbdtFlavor, Stage, Table};
+
+fn read_all() -> Vec<Stage> {
+    vec![
+        Stage::ReadCsv {
+            table: Table::Properties,
+        },
+        Stage::ReadCsv {
+            table: Table::Train,
+        },
+        Stage::ReadCsv { table: Table::Test },
+    ]
+}
+
+fn joins() -> Vec<Stage> {
+    vec![
+        Stage::Join {
+            left: "train".into(),
+            right: "properties".into(),
+            on: "parcel_id".into(),
+            out: "merged_train".into(),
+        },
+        Stage::Join {
+            left: "test".into(),
+            right: "properties".into(),
+            on: "parcel_id".into(),
+            out: "merged_test".into(),
+        },
+    ]
+}
+
+fn select_and_drop(extra_drop: &[&str]) -> Vec<Stage> {
+    let mut drops: Vec<String> = vec!["region".into(), "prop_type".into()];
+    drops.extend(extra_drop.iter().map(|s| s.to_string()));
+    vec![
+        Stage::SelectColumn {
+            frame: "merged_train".into(),
+            column: "logerror".into(),
+            out: "y_train".into(),
+        },
+        Stage::DropColumns {
+            frame: "merged_train".into(),
+            columns: drops.clone(),
+            out: "features_train".into(),
+        },
+        Stage::DropColumns {
+            frame: "merged_test".into(),
+            columns: drops,
+            out: "features_test".into(),
+        },
+    ]
+}
+
+fn split() -> Stage {
+    Stage::TrainTestSplit {
+        frame: "features_train".into(),
+        frac: 0.8,
+    }
+}
+
+fn predict_both(model: &str) -> Vec<Stage> {
+    vec![
+        Stage::Predict {
+            model: model.into(),
+            frame: "features_train_holdout".into(),
+            out: "pred_holdout".into(),
+        },
+        Stage::Predict {
+            model: model.into(),
+            frame: "features_test".into(),
+            out: "pred_test".into(),
+        },
+    ]
+}
+
+fn fillna_both() -> Vec<Stage> {
+    vec![
+        Stage::FillNa {
+            frame: "properties".into(),
+        },
+        Stage::FillNa {
+            frame: "train".into(),
+        },
+    ]
+}
+
+fn train_gbdt(flavor: GbdtFlavor, name: &str) -> Stage {
+    Stage::TrainGbdt {
+        frame: "features_train_fit".into(),
+        y_col: "logerror".into(),
+        name: name.into(),
+        flavor,
+    }
+}
+
+fn train_enet() -> Stage {
+    Stage::TrainElasticNet {
+        frame: "features_train_fit".into(),
+        y_col: "logerror".into(),
+        name: "enet".into(),
+    }
+}
+
+/// Build the stage list for a template id (`1..=10`).
+///
+/// # Panics
+/// Panics for ids outside `1..=10`.
+pub fn template_stages(id: usize) -> Vec<Stage> {
+    let mut s = read_all();
+    match id {
+        1 => {
+            s.extend(joins());
+            s.extend(select_and_drop(&[]));
+            s.push(split());
+            s.push(train_gbdt(GbdtFlavor::Lightgbm, "lgbm"));
+            s.extend(predict_both("lgbm"));
+        }
+        2 => {
+            s.extend(joins());
+            s.extend(select_and_drop(&[]));
+            s.push(split());
+            s.push(train_gbdt(GbdtFlavor::Xgboost, "xgb"));
+            s.extend(predict_both("xgb"));
+        }
+        3 => {
+            s.push(Stage::OneHot {
+                frame: "properties".into(),
+                column: "region".into(),
+            });
+            s.extend(fillna_both());
+            s.extend(joins());
+            s.extend(select_and_drop(&[]));
+            s.push(split());
+            s.push(train_enet());
+            s.extend(predict_both("enet"));
+        }
+        4 => {
+            s.push(Stage::AvgFeature {
+                frame: "properties".into(),
+            });
+            s.push(Stage::OneHot {
+                frame: "properties".into(),
+                column: "region".into(),
+            });
+            s.extend(fillna_both());
+            s.extend(joins());
+            s.extend(select_and_drop(&[]));
+            s.push(split());
+            s.push(train_enet());
+            s.extend(predict_both("enet"));
+        }
+        5 => {
+            s.extend(joins());
+            s.extend(select_and_drop(&[]));
+            s.push(split());
+            s.push(train_gbdt(GbdtFlavor::Xgboost, "xgb"));
+            s.push(train_gbdt(GbdtFlavor::Lightgbm, "lgbm"));
+            s.extend(predict_both("xgb+lgbm"));
+        }
+        6 => {
+            s.push(Stage::AvgFeature {
+                frame: "properties".into(),
+            });
+            s.extend(joins());
+            s.extend(select_and_drop(&[]));
+            s.push(split());
+            s.push(train_gbdt(GbdtFlavor::Lightgbm, "lgbm"));
+            s.extend(predict_both("lgbm"));
+        }
+        7 => {
+            // Table 4 lists tree hyper-parameters for P7; see module docs.
+            s.push(Stage::AvgFeature {
+                frame: "properties".into(),
+            });
+            s.extend(joins());
+            s.extend(select_and_drop(&[]));
+            s.push(split());
+            s.push(train_gbdt(GbdtFlavor::Lightgbm, "lgbm"));
+            s.extend(predict_both("lgbm"));
+        }
+        8 => {
+            s.push(Stage::AvgFeature {
+                frame: "properties".into(),
+            });
+            s.push(Stage::ConstructionRecency {
+                frame: "properties".into(),
+            });
+            s.push(Stage::OneHot {
+                frame: "properties".into(),
+                column: "region".into(),
+            });
+            s.extend(fillna_both());
+            s.extend(joins());
+            s.extend(select_and_drop(&[]));
+            s.push(split());
+            s.push(train_enet());
+            s.extend(predict_both("enet"));
+        }
+        9 => {
+            s.push(Stage::AvgFeature {
+                frame: "properties".into(),
+            });
+            s.push(Stage::ConstructionRecency {
+                frame: "properties".into(),
+            });
+            s.push(Stage::Neighborhood {
+                frame: "properties".into(),
+            });
+            s.push(Stage::OneHot {
+                frame: "properties".into(),
+                column: "region".into(),
+            });
+            s.extend(fillna_both());
+            s.extend(joins());
+            s.extend(select_and_drop(&[]));
+            s.push(split());
+            s.push(train_enet());
+            s.extend(predict_both("enet"));
+        }
+        10 => {
+            s.push(Stage::AvgFeature {
+                frame: "properties".into(),
+            });
+            s.push(Stage::ConstructionRecency {
+                frame: "properties".into(),
+            });
+            s.push(Stage::IsResidential {
+                frame: "properties".into(),
+            });
+            s.push(Stage::OneHot {
+                frame: "properties".into(),
+                column: "region".into(),
+            });
+            s.extend(fillna_both());
+            s.extend(joins());
+            s.extend(select_and_drop(&[]));
+            s.push(split());
+            s.push(train_enet());
+            s.extend(predict_both("enet"));
+        }
+        other => panic!("no template P{other}"),
+    }
+    s
+}
+
+/// The five hyper-parameter variants for a template.
+pub fn template_variants(id: usize) -> Vec<HashMap<String, f64>> {
+    let grid: Vec<Vec<(&str, f64)>> = match id {
+        1 => vec![
+            vec![
+                ("learning_rate", 0.05),
+                ("sub_feature", 0.6),
+                ("min_data", 10.0),
+            ],
+            vec![
+                ("learning_rate", 0.1),
+                ("sub_feature", 0.8),
+                ("min_data", 20.0),
+            ],
+            vec![
+                ("learning_rate", 0.2),
+                ("sub_feature", 1.0),
+                ("min_data", 40.0),
+            ],
+            vec![
+                ("learning_rate", 0.05),
+                ("sub_feature", 1.0),
+                ("min_data", 20.0),
+            ],
+            vec![
+                ("learning_rate", 0.3),
+                ("sub_feature", 0.7),
+                ("min_data", 15.0),
+            ],
+        ],
+        2 => vec![
+            vec![
+                ("eta", 0.05),
+                ("lambda", 0.5),
+                ("alpha", 0.0),
+                ("max_depth", 3.0),
+            ],
+            vec![
+                ("eta", 0.1),
+                ("lambda", 1.0),
+                ("alpha", 0.1),
+                ("max_depth", 4.0),
+            ],
+            vec![
+                ("eta", 0.2),
+                ("lambda", 2.0),
+                ("alpha", 0.0),
+                ("max_depth", 5.0),
+            ],
+            vec![
+                ("eta", 0.1),
+                ("lambda", 0.1),
+                ("alpha", 0.5),
+                ("max_depth", 6.0),
+            ],
+            vec![
+                ("eta", 0.3),
+                ("lambda", 1.0),
+                ("alpha", 0.0),
+                ("max_depth", 3.0),
+            ],
+        ],
+        3 => vec![
+            vec![("l1_ratio", 0.1), ("tol", 1e-4)],
+            vec![("l1_ratio", 0.3), ("tol", 1e-4)],
+            vec![("l1_ratio", 0.5), ("tol", 1e-5)],
+            vec![("l1_ratio", 0.7), ("tol", 1e-5)],
+            vec![("l1_ratio", 0.9), ("tol", 1e-6)],
+        ],
+        4 | 8 => vec![
+            vec![("l1_ratio", 0.2), ("tol", 1e-4), ("normalize", 1.0)],
+            vec![("l1_ratio", 0.4), ("tol", 1e-4), ("normalize", 0.0)],
+            vec![("l1_ratio", 0.5), ("tol", 1e-5), ("normalize", 1.0)],
+            vec![("l1_ratio", 0.6), ("tol", 1e-5), ("normalize", 0.0)],
+            vec![("l1_ratio", 0.8), ("tol", 1e-6), ("normalize", 1.0)],
+        ],
+        5 => vec![
+            vec![
+                ("eta", 0.1),
+                ("max_depth", 4.0),
+                ("xgb_weight", 0.7),
+                ("lgbm_weight", 0.3),
+            ],
+            vec![
+                ("eta", 0.1),
+                ("max_depth", 4.0),
+                ("xgb_weight", 0.5),
+                ("lgbm_weight", 0.5),
+            ],
+            vec![
+                ("eta", 0.2),
+                ("max_depth", 5.0),
+                ("xgb_weight", 0.3),
+                ("lgbm_weight", 0.7),
+            ],
+            vec![
+                ("eta", 0.05),
+                ("max_depth", 3.0),
+                ("xgb_weight", 0.6),
+                ("lgbm_weight", 0.4),
+            ],
+            vec![
+                ("eta", 0.15),
+                ("max_depth", 6.0),
+                ("xgb_weight", 0.4),
+                ("lgbm_weight", 0.6),
+            ],
+        ],
+        6 | 7 => vec![
+            vec![("eta", 0.05), ("max_depth", 3.0), ("bagging_fraction", 0.6)],
+            vec![("eta", 0.1), ("max_depth", 4.0), ("bagging_fraction", 0.8)],
+            vec![("eta", 0.2), ("max_depth", 5.0), ("bagging_fraction", 1.0)],
+            vec![("eta", 0.1), ("max_depth", 6.0), ("bagging_fraction", 0.7)],
+            vec![("eta", 0.3), ("max_depth", 4.0), ("bagging_fraction", 0.9)],
+        ],
+        9 => vec![
+            vec![
+                ("neighborhood_granularity", 100_000.0),
+                ("l1_ratio", 0.3),
+                ("tol", 1e-4),
+            ],
+            vec![
+                ("neighborhood_granularity", 250_000.0),
+                ("l1_ratio", 0.5),
+                ("tol", 1e-4),
+            ],
+            vec![
+                ("neighborhood_granularity", 500_000.0),
+                ("l1_ratio", 0.5),
+                ("tol", 1e-5),
+            ],
+            vec![
+                ("neighborhood_granularity", 250_000.0),
+                ("l1_ratio", 0.7),
+                ("tol", 1e-5),
+            ],
+            vec![
+                ("neighborhood_granularity", 1_000_000.0),
+                ("l1_ratio", 0.9),
+                ("tol", 1e-6),
+            ],
+        ],
+        10 => vec![
+            vec![("l1_ratio", 0.1), ("tol", 1e-4), ("normalize", 1.0)],
+            vec![("l1_ratio", 0.3), ("tol", 1e-4), ("normalize", 1.0)],
+            vec![("l1_ratio", 0.5), ("tol", 1e-5), ("normalize", 0.0)],
+            vec![("l1_ratio", 0.7), ("tol", 1e-5), ("normalize", 1.0)],
+            vec![("l1_ratio", 0.9), ("tol", 1e-6), ("normalize", 0.0)],
+        ],
+        other => panic!("no template P{other}"),
+    };
+    grid.into_iter()
+        .map(|pairs| pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        .collect()
+}
+
+/// All 50 Zillow pipelines: templates P1–P10 × 5 variants.
+/// For LightGBM-style stages the `learning_rate`/`eta` naming difference is
+/// normalized inside the train stage.
+pub fn zillow_pipelines() -> Vec<Pipeline> {
+    let mut out = Vec::with_capacity(50);
+    for id in 1..=10 {
+        let stages = template_stages(id);
+        for (v, mut hyper) in template_variants(id).into_iter().enumerate() {
+            // LightGBM reads `learning_rate`; templates 6/7 specify `eta`.
+            if let Some(&eta) = hyper.get("eta") {
+                hyper.entry("learning_rate".to_string()).or_insert(eta);
+            }
+            out.push(Pipeline::new(
+                format!("P{id}_v{v}"),
+                stages.clone(),
+                hyper,
+                42, // shared seed: variants differ only via hyper-parameters
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::ZillowData;
+
+    #[test]
+    fn fifty_pipelines_generated() {
+        let pipes = zillow_pipelines();
+        assert_eq!(pipes.len(), 50);
+        let ids: std::collections::HashSet<_> = pipes.iter().map(|p| p.id.clone()).collect();
+        assert_eq!(ids.len(), 50, "unique ids");
+    }
+
+    #[test]
+    fn stage_counts_in_paper_range() {
+        // Paper: workflows contain between 9 and 19 stages.
+        for id in 1..=10 {
+            let n = template_stages(id).len();
+            assert!((9..=19).contains(&n), "P{id} has {n} stages");
+        }
+    }
+
+    #[test]
+    fn every_template_runs_end_to_end() {
+        let data = ZillowData::generate(200, 1);
+        for id in 1..=10 {
+            let stages = template_stages(id);
+            let hyper = template_variants(id).remove(0);
+            let p = Pipeline::new(format!("P{id}"), stages, hyper, 1);
+            let records = p.run(&data);
+            assert_eq!(records.len(), p.len(), "P{id}");
+            // Final stage is a prediction over the test set.
+            let last = &records[records.len() - 1].output;
+            assert!(last.column("pred").is_some(), "P{id} final predictions");
+            let preds = last.column("pred").unwrap().data.to_f64();
+            assert!(
+                preds.iter().all(|v| v.is_finite()),
+                "P{id} finite predictions"
+            );
+        }
+    }
+
+    #[test]
+    fn variants_of_one_template_share_prefix_intermediates() {
+        let data = ZillowData::generate(200, 1);
+        let pipes = zillow_pipelines();
+        let p2_variants: Vec<_> = pipes.iter().filter(|p| p.id.starts_with("P2_")).collect();
+        assert_eq!(p2_variants.len(), 5);
+        let a = p2_variants[0].run(&data);
+        let b = p2_variants[1].run(&data);
+        // All stages before the train stage are identical across variants.
+        let train_idx = a
+            .iter()
+            .position(|r| r.intermediate_id.contains("Train"))
+            .unwrap();
+        for i in 0..train_idx {
+            assert_eq!(a[i].output, b[i].output, "stage {i}");
+        }
+    }
+
+    #[test]
+    fn variants_produce_distinct_predictions() {
+        let data = ZillowData::generate(300, 1);
+        let pipes = zillow_pipelines();
+        let v0 = pipes.iter().find(|p| p.id == "P2_v0").unwrap().run(&data);
+        let v4 = pipes.iter().find(|p| p.id == "P2_v4").unwrap().run(&data);
+        assert_ne!(
+            v0.last().unwrap().output,
+            v4.last().unwrap().output,
+            "different hyper-parameters must change predictions"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no template")]
+    fn unknown_template_panics() {
+        template_stages(11);
+    }
+}

@@ -1,0 +1,104 @@
+//! Bit-packing for sub-byte quantization codes.
+//!
+//! KBIT_QT with k < 8 produces codes in `[0, 2^k)`; packing them `8/k` to a
+//! byte realizes the full `o/k` storage reduction the paper claims
+//! (e.g. k=3 on f32 input: 32/3 ≈ 10.7×).
+
+/// Pack `codes` (each `< 2^bits`) into a dense little-endian bit stream.
+///
+/// # Panics
+/// Panics if `bits` is 0 or > 8, or a code does not fit.
+pub fn pack(codes: &[u8], bits: u32) -> Vec<u8> {
+    assert!((1..=8).contains(&bits), "bits must be in 1..=8");
+    let mask = if bits == 8 {
+        0xff
+    } else {
+        (1u16 << bits) as u8 - 1
+    };
+    let mut out = vec![0u8; (codes.len() * bits as usize).div_ceil(8)];
+    for (i, &c) in codes.iter().enumerate() {
+        assert!(c <= mask, "code {c} does not fit in {bits} bits");
+        let bitpos = i * bits as usize;
+        let byte = bitpos / 8;
+        let off = (bitpos % 8) as u32;
+        out[byte] |= c << off;
+        if off + bits > 8 {
+            out[byte + 1] |= c >> (8 - off);
+        }
+    }
+    out
+}
+
+/// Unpack `count` codes of width `bits` from a stream produced by [`pack`].
+/// Returns `None` if the buffer is too short.
+pub fn unpack(packed: &[u8], bits: u32, count: usize) -> Option<Vec<u8>> {
+    assert!((1..=8).contains(&bits), "bits must be in 1..=8");
+    if packed.len() * 8 < count * bits as usize {
+        return None;
+    }
+    let mask = if bits == 8 {
+        0xffu16
+    } else {
+        (1u16 << bits) - 1
+    };
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let bitpos = i * bits as usize;
+        let byte = bitpos / 8;
+        let off = (bitpos % 8) as u32;
+        let mut v = (packed[byte] >> off) as u16;
+        if off + bits > 8 {
+            v |= (packed[byte + 1] as u16) << (8 - off);
+        }
+        out.push((v & mask) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        for bits in 1..=8u32 {
+            let max = if bits == 8 { 255 } else { (1 << bits) - 1 };
+            let codes: Vec<u8> = (0..1000).map(|i| (i % (max as usize + 1)) as u8).collect();
+            let packed = pack(&codes, bits);
+            assert_eq!(unpack(&packed, bits, codes.len()), Some(codes));
+        }
+    }
+
+    #[test]
+    fn packed_size_is_minimal() {
+        let codes = vec![1u8; 100];
+        assert_eq!(pack(&codes, 1).len(), 13); // 100 bits -> 13 bytes
+        assert_eq!(pack(&codes, 3).len(), 38); // 300 bits -> 38 bytes
+        assert_eq!(pack(&codes, 8).len(), 100);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pack(&[], 4).is_empty());
+        assert_eq!(unpack(&[], 4, 0), Some(vec![]));
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert_eq!(unpack(&[0xff], 8, 2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_code_panics() {
+        pack(&[8], 3);
+    }
+
+    #[test]
+    fn cross_byte_boundary_codes() {
+        // 3-bit codes straddle byte boundaries at positions 2, 5, ...
+        let codes = vec![0b101, 0b011, 0b110, 0b001, 0b111];
+        let packed = pack(&codes, 3);
+        assert_eq!(unpack(&packed, 3, 5), Some(codes));
+    }
+}

@@ -1,0 +1,173 @@
+//! POOL_QT: summarization of 2-D activation maps by pooling (Sec 4.1).
+//!
+//! Quantization shrinks each value; pooling shrinks the *number* of values.
+//! POOL_QT applies an aggregation (average by default, or max) over σ×σ
+//! windows of each activation map, reducing storage by S²/σ². σ=2 is the
+//! paper's default; σ=S collapses a whole map to one value (pool(32) for
+//! 32×32 CIFAR-scale maps).
+
+/// The pooling aggregation to apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// Average pooling (the paper's default).
+    Avg,
+    /// Max pooling.
+    Max,
+}
+
+/// Output dimensions of pooling an `h x w` map with window `sigma`
+/// (ceiling division: partial edge windows are aggregated over fewer cells).
+pub fn pooled_dims(h: usize, w: usize, sigma: usize) -> (usize, usize) {
+    (h.div_ceil(sigma), w.div_ceil(sigma))
+}
+
+/// Average-pool a row-major `h x w` map with a σ×σ window.
+///
+/// # Panics
+/// Panics if `map.len() != h * w` or `sigma == 0`.
+pub fn avg_pool2d(map: &[f32], h: usize, w: usize, sigma: usize) -> Vec<f32> {
+    pool2d(map, h, w, sigma, PoolKind::Avg)
+}
+
+/// Max-pool a row-major `h x w` map with a σ×σ window.
+pub fn max_pool2d(map: &[f32], h: usize, w: usize, sigma: usize) -> Vec<f32> {
+    pool2d(map, h, w, sigma, PoolKind::Max)
+}
+
+/// Pool a row-major `h x w` map with a σ×σ window and the given aggregation.
+pub fn pool2d(map: &[f32], h: usize, w: usize, sigma: usize, kind: PoolKind) -> Vec<f32> {
+    assert!(sigma > 0, "pool window must be positive");
+    assert_eq!(map.len(), h * w, "map length does not match dimensions");
+    let (oh, ow) = pooled_dims(h, w, sigma);
+    let mut out = Vec::with_capacity(oh * ow);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let y0 = oy * sigma;
+            let x0 = ox * sigma;
+            let y1 = (y0 + sigma).min(h);
+            let x1 = (x0 + sigma).min(w);
+            match kind {
+                PoolKind::Avg => {
+                    let mut sum = 0.0f32;
+                    for y in y0..y1 {
+                        for x in x0..x1 {
+                            sum += map[y * w + x];
+                        }
+                    }
+                    out.push(sum / ((y1 - y0) * (x1 - x0)) as f32);
+                }
+                PoolKind::Max => {
+                    let mut m = f32::NEG_INFINITY;
+                    for y in y0..y1 {
+                        for x in x0..x1 {
+                            m = m.max(map[y * w + x]);
+                        }
+                    }
+                    out.push(m);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Pool every channel of a flattened multi-channel activation tensor laid out
+/// as `channels` consecutive row-major `h x w` maps (the per-example layout
+/// DNN intermediates use). Returns the pooled tensor and per-channel dims.
+pub fn pool_channels(
+    data: &[f32],
+    channels: usize,
+    h: usize,
+    w: usize,
+    sigma: usize,
+    kind: PoolKind,
+) -> (Vec<f32>, (usize, usize)) {
+    assert_eq!(data.len(), channels * h * w, "tensor length mismatch");
+    let (oh, ow) = pooled_dims(h, w, sigma);
+    let mut out = Vec::with_capacity(channels * oh * ow);
+    for c in 0..channels {
+        let map = &data[c * h * w..(c + 1) * h * w];
+        out.extend(pool2d(map, h, w, sigma, kind));
+    }
+    (out, (oh, ow))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_2x2_on_4x4() {
+        #[rustfmt::skip]
+        let map = vec![
+            1.0, 2.0, 3.0, 4.0,
+            5.0, 6.0, 7.0, 8.0,
+            9.0, 10.0, 11.0, 12.0,
+            13.0, 14.0, 15.0, 16.0,
+        ];
+        let pooled = avg_pool2d(&map, 4, 4, 2);
+        assert_eq!(pooled, vec![3.5, 5.5, 11.5, 13.5]);
+    }
+
+    #[test]
+    fn max_pool_2x2_on_4x4() {
+        #[rustfmt::skip]
+        let map = vec![
+            1.0, 2.0, 3.0, 4.0,
+            5.0, 6.0, 7.0, 8.0,
+            9.0, 10.0, 11.0, 12.0,
+            13.0, 14.0, 15.0, 16.0,
+        ];
+        let pooled = max_pool2d(&map, 4, 4, 2);
+        assert_eq!(pooled, vec![6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn full_pool_collapses_to_mean() {
+        let map: Vec<f32> = (1..=9).map(|i| i as f32).collect();
+        let pooled = avg_pool2d(&map, 3, 3, 3);
+        assert_eq!(pooled, vec![5.0]); // mean of 1..9
+    }
+
+    #[test]
+    fn ragged_edges_use_partial_windows() {
+        // 3x3 with sigma=2: windows are 2x2, 2x1, 1x2, 1x1.
+        #[rustfmt::skip]
+        let map = vec![
+            1.0, 2.0, 3.0,
+            4.0, 5.0, 6.0,
+            7.0, 8.0, 9.0,
+        ];
+        let pooled = avg_pool2d(&map, 3, 3, 2);
+        assert_eq!(pooled, vec![3.0, 4.5, 7.5, 9.0]);
+        assert_eq!(pooled_dims(3, 3, 2), (2, 2));
+    }
+
+    #[test]
+    fn storage_reduction_is_sigma_squared() {
+        let map = vec![0.5f32; 32 * 32];
+        assert_eq!(avg_pool2d(&map, 32, 32, 2).len(), 256); // 4x fewer
+        assert_eq!(avg_pool2d(&map, 32, 32, 32).len(), 1); // 1024x fewer
+    }
+
+    #[test]
+    fn sigma_one_is_identity() {
+        let map = vec![1.0f32, 2.0, 3.0, 4.0];
+        assert_eq!(avg_pool2d(&map, 2, 2, 1), map);
+        assert_eq!(max_pool2d(&map, 2, 2, 1), map);
+    }
+
+    #[test]
+    fn multi_channel_pooling() {
+        let data: Vec<f32> = (0..2 * 4).map(|i| i as f32).collect(); // 2 channels of 2x2
+        let (pooled, dims) = pool_channels(&data, 2, 2, 2, 2, PoolKind::Avg);
+        assert_eq!(dims, (1, 1));
+        assert_eq!(pooled, vec![1.5, 5.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn wrong_dims_panic() {
+        avg_pool2d(&[1.0, 2.0], 2, 2, 2);
+    }
+}

@@ -1,0 +1,234 @@
+//! A uniform encode/decode surface over the quantization schemes, used by the
+//! DataStore when materializing DNN intermediates.
+
+use crate::half::{decode_f16, encode_f16};
+use crate::kbit::KbitQuantizer;
+use crate::threshold::ThresholdQuantizer;
+
+/// Which value quantization to apply when storing a column of activations.
+///
+/// Pooling (POOL_QT) is a *summarization* — it changes the number of values
+/// and is applied when the intermediate is captured (see `mistique_quantize::pool`);
+/// the schemes here change only the per-value representation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QuantScheme {
+    /// Full precision f32 (no quantization).
+    Full,
+    /// LP_QT: lower-precision half floats (2x reduction vs f32).
+    Lp,
+    /// KBIT_QT: `2^bits` quantile bins fitted on the data (paper default: 8).
+    Kbit {
+        /// Bits per code, 1..=8.
+        bits: u32,
+    },
+    /// THRESHOLD_QT: binarize at the given percentile of the data (e.g. 0.995).
+    Threshold {
+        /// Percentile in [0, 1] at which to place the threshold.
+        pct: f64,
+    },
+}
+
+impl QuantScheme {
+    /// Short scheme name as used in the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            QuantScheme::Full => "FULL".to_string(),
+            QuantScheme::Lp => "LP_QT".to_string(),
+            QuantScheme::Kbit { bits } => format!("{bits}BIT_QT"),
+            QuantScheme::Threshold { .. } => "THRESHOLD_QT".to_string(),
+        }
+    }
+
+    /// Encode a column of activations under this scheme. Data-dependent
+    /// schemes (KBIT, THRESHOLD) fit their parameters on `values` itself,
+    /// mirroring the paper's "first collect samples of activations to build
+    /// a distribution" implementation note.
+    pub fn encode(&self, values: &[f32]) -> QuantizedColumn {
+        let count = values.len();
+        match *self {
+            QuantScheme::Full => {
+                let mut bytes = Vec::with_capacity(count * 4);
+                for v in values {
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+                QuantizedColumn {
+                    payload: Payload::Full(bytes),
+                    count,
+                }
+            }
+            QuantScheme::Lp => QuantizedColumn {
+                payload: Payload::Lp(encode_f16(values)),
+                count,
+            },
+            QuantScheme::Kbit { bits } => {
+                let q = if values.is_empty() {
+                    KbitQuantizer::fit(&[0.0], bits)
+                } else {
+                    KbitQuantizer::fit(values, bits)
+                };
+                let packed = q.encode(values);
+                QuantizedColumn {
+                    payload: Payload::Kbit {
+                        quantizer: q,
+                        packed,
+                    },
+                    count,
+                }
+            }
+            QuantScheme::Threshold { pct } => {
+                let q = if values.is_empty() {
+                    ThresholdQuantizer::with_threshold(0.0)
+                } else {
+                    ThresholdQuantizer::fit(values, pct)
+                };
+                let packed = q.encode_packed(values);
+                QuantizedColumn {
+                    payload: Payload::Threshold {
+                        threshold: q.threshold(),
+                        packed,
+                    },
+                    count,
+                }
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Payload {
+    Full(Vec<u8>),
+    Lp(Vec<u8>),
+    Kbit {
+        quantizer: KbitQuantizer,
+        packed: Vec<u8>,
+    },
+    Threshold {
+        threshold: f32,
+        packed: Vec<u8>,
+    },
+}
+
+/// An encoded column: the storage bytes plus whatever metadata decoding needs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantizedColumn {
+    payload: Payload,
+    count: usize,
+}
+
+impl QuantizedColumn {
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Bytes this column occupies in storage (data + scheme metadata).
+    pub fn storage_bytes(&self) -> usize {
+        match &self.payload {
+            Payload::Full(b) | Payload::Lp(b) => b.len(),
+            Payload::Kbit { quantizer, packed } => packed.len() + quantizer.to_bytes().len(),
+            Payload::Threshold { packed, .. } => packed.len() + 4,
+        }
+    }
+
+    /// Reconstruct f32 values. This is where KBIT_QT pays its
+    /// "reconstruction cost" (code → representative lookup); THRESHOLD_QT
+    /// reconstructs 0.0/1.0 indicator values.
+    pub fn decode(&self) -> Vec<f32> {
+        match &self.payload {
+            Payload::Full(bytes) => bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect(),
+            Payload::Lp(bytes) => decode_f16(bytes).expect("valid f16 payload"),
+            Payload::Kbit { quantizer, packed } => quantizer
+                .decode(packed, self.count)
+                .expect("valid kbit payload"),
+            Payload::Threshold { packed, .. } => {
+                ThresholdQuantizer::decode_packed(packed, self.count)
+                    .expect("valid threshold payload")
+                    .into_iter()
+                    .map(|b| if b { 1.0 } else { 0.0 })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<f32> {
+        (0..5000)
+            .map(|i| ((i * 37) % 1000) as f32 / 100.0)
+            .collect()
+    }
+
+    #[test]
+    fn full_scheme_is_lossless() {
+        let v = sample();
+        let q = QuantScheme::Full.encode(&v);
+        assert_eq!(q.decode(), v);
+        assert_eq!(q.storage_bytes(), v.len() * 4);
+    }
+
+    #[test]
+    fn lp_scheme_halves_storage() {
+        let v = sample();
+        let q = QuantScheme::Lp.encode(&v);
+        assert_eq!(q.storage_bytes(), v.len() * 2);
+        for (a, b) in v.iter().zip(q.decode()) {
+            assert!((a - b).abs() <= a.abs() * 1e-3 + 1e-3);
+        }
+    }
+
+    #[test]
+    fn kbit8_quarters_storage() {
+        let v = sample();
+        let q = QuantScheme::Kbit { bits: 8 }.encode(&v);
+        // codes = n bytes, plus quantizer table overhead (amortized, fixed).
+        assert!(q.storage_bytes() < v.len() + 3000);
+        let dec = q.decode();
+        // Equi-depth 256 bins on ~uniform data: small error.
+        for (a, b) in v.iter().zip(&dec) {
+            assert!((a - b).abs() < 0.1, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn threshold_scheme_binarizes() {
+        let v = sample();
+        let q = QuantScheme::Threshold { pct: 0.9 }.encode(&v);
+        let dec = q.decode();
+        assert!(dec.iter().all(|&x| x == 0.0 || x == 1.0));
+        let ones = dec.iter().filter(|&&x| x == 1.0).count();
+        assert!((ones as f64 / v.len() as f64) < 0.15);
+    }
+
+    #[test]
+    fn empty_input_all_schemes() {
+        for scheme in [
+            QuantScheme::Full,
+            QuantScheme::Lp,
+            QuantScheme::Kbit { bits: 8 },
+            QuantScheme::Threshold { pct: 0.995 },
+        ] {
+            let q = scheme.encode(&[]);
+            assert!(q.is_empty());
+            assert!(q.decode().is_empty());
+        }
+    }
+
+    #[test]
+    fn scheme_names_match_paper() {
+        assert_eq!(QuantScheme::Lp.name(), "LP_QT");
+        assert_eq!(QuantScheme::Kbit { bits: 8 }.name(), "8BIT_QT");
+        assert_eq!(QuantScheme::Kbit { bits: 3 }.name(), "3BIT_QT");
+        assert_eq!(QuantScheme::Threshold { pct: 0.995 }.name(), "THRESHOLD_QT");
+    }
+}

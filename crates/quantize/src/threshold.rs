@@ -1,0 +1,116 @@
+//! THRESHOLD_QT: percentile-threshold binarization (Sec 4.1).
+//!
+//! NetDissect-style techniques only ask whether an activation exceeds a high
+//! percentile threshold `T_k` with `p(A_k(x) > T_k) = α`. Storing the
+//! binarized map reduces storage by the full original width (32× for f32)
+//! but is irreversible: "once a threshold has been picked, we cannot
+//! binarize the data with respect to another threshold."
+
+use mistique_linalg::stats::percentile;
+
+/// A fitted threshold quantizer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ThresholdQuantizer {
+    threshold: f32,
+    /// The percentile the threshold was fitted at (e.g. 0.995), kept for metadata.
+    percentile: f64,
+}
+
+impl ThresholdQuantizer {
+    /// Fit by computing the `pct` percentile of a sample
+    /// (NetDissect uses `1 - α` with `α = 0.005`, i.e. `pct = 0.995`).
+    ///
+    /// # Panics
+    /// Panics if the sample is empty or `pct` is outside `[0, 1]`.
+    pub fn fit(sample: &[f32], pct: f64) -> ThresholdQuantizer {
+        assert!(
+            !sample.is_empty(),
+            "cannot fit a threshold on an empty sample"
+        );
+        assert!((0.0..=1.0).contains(&pct), "percentile must be in [0, 1]");
+        let doubles: Vec<f64> = sample.iter().map(|&v| v as f64).collect();
+        let threshold = percentile(&doubles, pct) as f32;
+        ThresholdQuantizer {
+            threshold,
+            percentile: pct,
+        }
+    }
+
+    /// Build directly from an explicit threshold value.
+    pub fn with_threshold(threshold: f32) -> ThresholdQuantizer {
+        ThresholdQuantizer {
+            threshold,
+            percentile: f64::NAN,
+        }
+    }
+
+    /// The fitted threshold value.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Binarize: `v > threshold`.
+    pub fn encode(&self, values: &[f32]) -> Vec<bool> {
+        values.iter().map(|&v| v > self.threshold).collect()
+    }
+
+    /// Binarize and pack into a bit stream (one bit per value).
+    pub fn encode_packed(&self, values: &[f32]) -> Vec<u8> {
+        let codes: Vec<u8> = values.iter().map(|&v| (v > self.threshold) as u8).collect();
+        crate::bitpack::pack(&codes, 1)
+    }
+
+    /// Unpack a bit stream into booleans. Returns `None` on truncation.
+    pub fn decode_packed(packed: &[u8], count: usize) -> Option<Vec<bool>> {
+        let codes = crate::bitpack::unpack(packed, 1, count)?;
+        Some(codes.iter().map(|&c| c != 0).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_at_high_percentile_marks_top_fraction() {
+        let sample: Vec<f32> = (0..10_000).map(|i| i as f32).collect();
+        let q = ThresholdQuantizer::fit(&sample, 0.995);
+        let bits = q.encode(&sample);
+        let ones = bits.iter().filter(|&&b| b).count();
+        // ~0.5% of values exceed the 99.5th percentile.
+        assert!((40..=60).contains(&ones), "got {ones}");
+    }
+
+    #[test]
+    fn explicit_threshold() {
+        let q = ThresholdQuantizer::with_threshold(0.5);
+        assert_eq!(q.encode(&[0.0, 0.5, 0.6]), vec![false, false, true]);
+    }
+
+    #[test]
+    fn packed_roundtrip_and_size() {
+        let sample: Vec<f32> = (0..1000).map(|i| (i % 10) as f32).collect();
+        let q = ThresholdQuantizer::fit(&sample, 0.9);
+        let packed = q.encode_packed(&sample);
+        assert_eq!(packed.len(), 125); // 1000 bits = 32x smaller than f32
+        let bits = ThresholdQuantizer::decode_packed(&packed, 1000).unwrap();
+        assert_eq!(bits, q.encode(&sample));
+    }
+
+    #[test]
+    fn truncated_packed_rejected() {
+        assert_eq!(ThresholdQuantizer::decode_packed(&[0xff], 9), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        ThresholdQuantizer::fit(&[], 0.995);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be")]
+    fn bad_percentile_panics() {
+        ThresholdQuantizer::fit(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,612 @@
+//! The DataStore facade: dedup-aware chunk placement over the buffer pool
+//! and disk store (Alg. 4's storage path).
+
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+
+use mistique_dataframe::ColumnChunk;
+use mistique_dedup::{content_digest, discretize, ContentDigest, LshIndex, MinHasher};
+
+use crate::disk::DiskStore;
+use crate::mem::InMemoryStore;
+use crate::partition::{Partition, PartitionId};
+use crate::StoreError;
+
+/// Logical address of a ColumnChunk:
+/// `project.model_intermediate.column` plus the RowBlock index —
+/// the same key shape as the paper's `get_intermediates([keys])` API.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ChunkKey {
+    /// Intermediate id, conventionally `model.intermediate`.
+    pub intermediate: String,
+    /// Column name within the intermediate.
+    pub column: String,
+    /// RowBlock index.
+    pub block: u32,
+}
+
+impl ChunkKey {
+    /// Convenience constructor.
+    pub fn new(intermediate: impl Into<String>, column: impl Into<String>, block: u32) -> Self {
+        ChunkKey {
+            intermediate: intermediate.into(),
+            column: column.into(),
+            block,
+        }
+    }
+}
+
+/// How chunks are routed to Partitions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PlacementPolicy {
+    /// TRAD policy: MinHash/LSH similarity clustering with threshold `tau`
+    /// (Sec 4.2.1). Similar chunks share a partition and compress together.
+    BySimilarity {
+        /// Jaccard similarity threshold τ for joining an existing partition.
+        tau: f64,
+    },
+    /// DNN policy: co-locate all columns of the same intermediate and skip
+    /// similarity search (the paper's two DNN simplifications).
+    ByIntermediate,
+}
+
+/// DataStore tuning knobs.
+#[derive(Clone, Debug)]
+pub struct DataStoreConfig {
+    /// Chunk→Partition routing policy.
+    pub policy: PlacementPolicy,
+    /// InMemoryStore byte budget.
+    pub mem_capacity: usize,
+    /// A partition is sealed once it accumulates this many raw bytes.
+    pub partition_target_bytes: usize,
+    /// MinHash signature length (BySimilarity only).
+    pub minhash_hashes: usize,
+    /// LSH bands (bands * rows must equal `minhash_hashes`).
+    pub lsh_bands: usize,
+    /// Bin width used to discretize values before MinHashing.
+    pub discretize_bin: f64,
+    /// Cache partitions read back from disk (disable to measure raw reads).
+    pub read_cache: bool,
+}
+
+impl Default for DataStoreConfig {
+    fn default() -> Self {
+        DataStoreConfig {
+            policy: PlacementPolicy::BySimilarity { tau: 0.6 },
+            mem_capacity: 64 << 20,
+            partition_target_bytes: 1 << 20,
+            minhash_hashes: 128,
+            lsh_bands: 32,
+            discretize_bin: 0.05,
+            read_cache: true,
+        }
+    }
+}
+
+/// Counters describing what the store has done so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct StoreStats {
+    /// Bytes submitted across all `put_chunk` calls (the STORE_ALL volume).
+    pub logical_bytes: u64,
+    /// Bytes of unique chunks actually placed in partitions.
+    pub unique_bytes: u64,
+    /// Chunks that were exact-dedup hits.
+    pub dedup_hits: u64,
+    /// Chunks stored (unique).
+    pub chunks_stored: u64,
+    /// Partitions created.
+    pub partitions_created: u64,
+    /// Chunks placed into an existing partition via similarity.
+    pub similarity_placements: u64,
+}
+
+/// Result of storing one chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PutOutcome {
+    /// Identical bytes were already stored; only a reference was recorded.
+    Deduplicated,
+    /// Stored into the given partition.
+    Stored(PartitionId),
+}
+
+/// The DataStore: exact dedup, similarity placement, buffer pool, disk.
+pub struct DataStore {
+    config: DataStoreConfig,
+    mem: InMemoryStore,
+    disk: DiskStore,
+    key_map: HashMap<ChunkKey, ContentDigest>,
+    digest_loc: HashMap<ContentDigest, PartitionId>,
+    sealed: HashSet<PartitionId>,
+    next_partition: PartitionId,
+    /// Per-intermediate open partition (ByIntermediate policy).
+    open_by_intermediate: HashMap<String, PartitionId>,
+    /// LSH over stored chunk signatures (BySimilarity policy).
+    lsh: LshIndex,
+    minhasher: MinHasher,
+    lsh_item_to_partition: HashMap<u64, PartitionId>,
+    next_lsh_item: u64,
+    read_cache: HashMap<PartitionId, Partition>,
+    stats: StoreStats,
+}
+
+impl DataStore {
+    /// Open a DataStore persisting partitions under `dir`.
+    pub fn open(dir: impl AsRef<Path>, config: DataStoreConfig) -> Result<DataStore, StoreError> {
+        assert!(
+            config.minhash_hashes.is_multiple_of(config.lsh_bands),
+            "minhash_hashes must be divisible by lsh_bands"
+        );
+        let rows = config.minhash_hashes / config.lsh_bands;
+        Ok(DataStore {
+            mem: InMemoryStore::new(config.mem_capacity),
+            disk: DiskStore::open(dir)?,
+            key_map: HashMap::new(),
+            digest_loc: HashMap::new(),
+            sealed: HashSet::new(),
+            next_partition: 0,
+            open_by_intermediate: HashMap::new(),
+            lsh: LshIndex::new(config.lsh_bands, rows),
+            minhasher: MinHasher::new(config.minhash_hashes),
+            lsh_item_to_partition: HashMap::new(),
+            next_lsh_item: 0,
+            read_cache: HashMap::new(),
+            stats: StoreStats::default(),
+            config,
+        })
+    }
+
+    /// Store one chunk under its logical key using the configured placement
+    /// policy. Identical chunk bytes seen before are not stored again
+    /// (exact dedup).
+    pub fn put_chunk(
+        &mut self,
+        key: ChunkKey,
+        chunk: &ColumnChunk,
+    ) -> Result<PutOutcome, StoreError> {
+        self.put_chunk_with(key, chunk, self.config.policy, true)
+    }
+
+    /// Store one chunk with an explicit placement policy, optionally
+    /// bypassing de-duplication entirely (`dedup = false` models the paper's
+    /// STORE_ALL baseline: every chunk is stored even if identical bytes
+    /// exist).
+    pub fn put_chunk_with(
+        &mut self,
+        key: ChunkKey,
+        chunk: &ColumnChunk,
+        policy: PlacementPolicy,
+        dedup: bool,
+    ) -> Result<PutOutcome, StoreError> {
+        let bytes = chunk.to_bytes();
+        let digest = if dedup {
+            content_digest(&bytes)
+        } else {
+            // Mix the key into the digest so identical bytes never collide.
+            let mut keyed = bytes.clone();
+            keyed.extend_from_slice(key.intermediate.as_bytes());
+            keyed.extend_from_slice(key.column.as_bytes());
+            keyed.extend_from_slice(&key.block.to_le_bytes());
+            content_digest(&keyed)
+        };
+        self.stats.logical_bytes += bytes.len() as u64;
+
+        if let Some(&pid) = self.digest_loc.get(&digest) {
+            self.key_map.insert(key, digest);
+            self.stats.dedup_hits += 1;
+            let _ = pid;
+            return Ok(PutOutcome::Deduplicated);
+        }
+
+        let pid = self.choose_partition_with(&key, chunk, policy)?;
+        let len = bytes.len();
+        {
+            let part = self.mem.get_mut(pid).expect("open partition resident");
+            part.add(digest, bytes);
+        }
+        // Account growth and persist any evicted partitions.
+        let evicted = self.mem.grow(pid, len);
+        for p in evicted {
+            self.seal_partition(p)?;
+        }
+        self.digest_loc.insert(digest, pid);
+        self.key_map.insert(key, digest);
+        self.stats.unique_bytes += len as u64;
+        self.stats.chunks_stored += 1;
+
+        // Seal the partition once it reaches its target size.
+        let full = self
+            .mem
+            .get(pid)
+            .map(|p| p.raw_bytes() >= self.config.partition_target_bytes)
+            .unwrap_or(false);
+        if full {
+            if let Some(p) = self.mem.remove(pid) {
+                self.seal_partition(p)?;
+            }
+        }
+        Ok(PutOutcome::Stored(pid))
+    }
+
+    fn choose_partition_with(
+        &mut self,
+        key: &ChunkKey,
+        chunk: &ColumnChunk,
+        policy: PlacementPolicy,
+    ) -> Result<PartitionId, StoreError> {
+        match policy {
+            PlacementPolicy::ByIntermediate => {
+                // Co-locate chunks of one intermediate; new partition when
+                // the previous one was sealed.
+                if let Some(&pid) = self.open_by_intermediate.get(&key.intermediate) {
+                    if !self.sealed.contains(&pid) && self.mem.contains(pid) {
+                        return Ok(pid);
+                    }
+                }
+                let pid = self.new_partition();
+                self.open_by_intermediate
+                    .insert(key.intermediate.clone(), pid);
+                Ok(pid)
+            }
+            PlacementPolicy::BySimilarity { tau } => {
+                let values = chunk.data.to_f64();
+                let elements = discretize(&values, self.config.discretize_bin);
+                let sig = self.minhasher.signature(&elements);
+                let target = self
+                    .lsh
+                    .query_best(&sig, tau)
+                    .map(|(item, _)| self.lsh_item_to_partition[&item])
+                    .filter(|pid| !self.sealed.contains(pid) && self.mem.contains(*pid));
+                let pid = match target {
+                    Some(pid) => {
+                        self.stats.similarity_placements += 1;
+                        pid
+                    }
+                    None => self.new_partition(),
+                };
+                let item = self.next_lsh_item;
+                self.next_lsh_item += 1;
+                self.lsh.insert(item, sig);
+                self.lsh_item_to_partition.insert(item, pid);
+                Ok(pid)
+            }
+        }
+    }
+
+    fn new_partition(&mut self) -> PartitionId {
+        let pid = self.next_partition;
+        self.next_partition += 1;
+        self.stats.partitions_created += 1;
+        // Evictions from inserting an empty partition are impossible unless
+        // the pool is already over budget; handle them anyway.
+        let evicted = self.mem.insert(Partition::new(pid));
+        for p in evicted {
+            // Sealing here cannot fail on serialization; propagate panics only.
+            self.seal_partition(p).expect("sealing evicted partition");
+        }
+        pid
+    }
+
+    fn seal_partition(&mut self, partition: Partition) -> Result<(), StoreError> {
+        let sealed = partition.seal();
+        self.disk.write(partition.id(), &sealed)?;
+        self.sealed.insert(partition.id());
+        Ok(())
+    }
+
+    /// Flush every open partition to disk.
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        for p in self.mem.drain() {
+            self.seal_partition(p)?;
+        }
+        Ok(())
+    }
+
+    /// Whether a chunk has been stored under this key.
+    pub fn contains(&self, key: &ChunkKey) -> bool {
+        self.key_map.contains_key(key)
+    }
+
+    /// Read a chunk back by key.
+    pub fn get_chunk(&mut self, key: &ChunkKey) -> Result<ColumnChunk, StoreError> {
+        let digest = *self.key_map.get(key).ok_or(StoreError::NotFound)?;
+        let pid = *self.digest_loc.get(&digest).ok_or(StoreError::NotFound)?;
+
+        // 1. Open partition in the buffer pool.
+        if let Some(part) = self.mem.get(pid) {
+            let bytes = part
+                .get(digest)
+                .ok_or(StoreError::CorruptPartition("missing chunk"))?;
+            return Ok(ColumnChunk::from_bytes(bytes)?);
+        }
+        // 2. Read cache.
+        if let Some(part) = self.read_cache.get(&pid) {
+            let bytes = part
+                .get(digest)
+                .ok_or(StoreError::CorruptPartition("missing chunk"))?;
+            return Ok(ColumnChunk::from_bytes(bytes)?);
+        }
+        // 3. Disk.
+        let sealed = self.disk.read(pid)?;
+        let part = Partition::unseal(pid, &sealed)?;
+        let chunk = {
+            let bytes = part
+                .get(digest)
+                .ok_or(StoreError::CorruptPartition("missing chunk"))?;
+            ColumnChunk::from_bytes(bytes)?
+        };
+        if self.config.read_cache {
+            // Unbounded growth guard: keep the cache below the memory budget.
+            let cache_bytes: usize = self.read_cache.values().map(|p| p.raw_bytes()).sum();
+            if cache_bytes + part.raw_bytes() > self.config.mem_capacity {
+                self.read_cache.clear();
+            }
+            self.read_cache.insert(pid, part);
+        }
+        Ok(chunk)
+    }
+
+    /// Drop all cached disk partitions (used when benchmarking cold reads).
+    pub fn clear_read_cache(&mut self) {
+        self.read_cache.clear();
+    }
+
+    /// Storage counters so far.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Compressed bytes currently on disk.
+    pub fn disk_bytes(&self) -> Result<u64, StoreError> {
+        self.disk.disk_bytes()
+    }
+
+    /// Cumulative bytes written to disk (logging overhead metric).
+    pub fn bytes_written(&self) -> u64 {
+        self.disk.bytes_written()
+    }
+
+    /// Total physical footprint: compressed disk bytes plus raw bytes of
+    /// partitions still open in memory.
+    pub fn physical_bytes(&self) -> Result<u64, StoreError> {
+        Ok(self.disk.disk_bytes()? + self.mem.used_bytes() as u64)
+    }
+
+    /// Export the chunk catalog — everything needed to read chunks back from
+    /// the partition files after a restart. Call [`DataStore::flush`] first
+    /// so every partition is on disk.
+    pub fn export_catalog(&self) -> StoreCatalog {
+        StoreCatalog {
+            entries: self
+                .key_map
+                .iter()
+                .map(|(key, digest)| CatalogEntry {
+                    key: key.clone(),
+                    digest: (digest.0, digest.1),
+                    partition: self.digest_loc[digest],
+                })
+                .collect(),
+            next_partition: self.next_partition,
+            stats: self.stats,
+        }
+    }
+
+    /// Restore a catalog exported by [`DataStore::export_catalog`] into a
+    /// freshly opened store over the same directory. All restored partitions
+    /// are treated as sealed (reads come from disk).
+    pub fn import_catalog(&mut self, catalog: StoreCatalog) {
+        for entry in catalog.entries {
+            let digest = ContentDigest(entry.digest.0, entry.digest.1);
+            self.key_map.insert(entry.key, digest);
+            self.digest_loc.insert(digest, entry.partition);
+            self.sealed.insert(entry.partition);
+        }
+        self.next_partition = self.next_partition.max(catalog.next_partition);
+        self.stats = catalog.stats;
+    }
+}
+
+/// One chunk's catalog entry: logical key → content digest → partition.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct CatalogEntry {
+    /// Logical chunk key.
+    pub key: ChunkKey,
+    /// Content digest (two 64-bit halves).
+    pub digest: (u64, u64),
+    /// Partition holding the chunk.
+    pub partition: PartitionId,
+}
+
+/// Serializable snapshot of the store's chunk catalog.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct StoreCatalog {
+    /// All chunk entries.
+    pub entries: Vec<CatalogEntry>,
+    /// Next partition id to allocate.
+    pub next_partition: PartitionId,
+    /// Storage counters at export time.
+    pub stats: StoreStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mistique_dataframe::ColumnData;
+
+    fn f64_chunk(values: Vec<f64>) -> ColumnChunk {
+        ColumnChunk::new(ColumnData::F64(values))
+    }
+
+    fn store(policy: PlacementPolicy) -> (tempfile::TempDir, DataStore) {
+        let dir = tempfile::tempdir().unwrap();
+        let config = DataStoreConfig {
+            policy,
+            mem_capacity: 1 << 20,
+            partition_target_bytes: 64 << 10,
+            ..DataStoreConfig::default()
+        };
+        let ds = DataStore::open(dir.path(), config).unwrap();
+        (dir, ds)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let (_dir, mut ds) = store(PlacementPolicy::ByIntermediate);
+        let chunk = f64_chunk((0..500).map(|i| i as f64).collect());
+        let key = ChunkKey::new("m1.interm0", "price", 0);
+        let outcome = ds.put_chunk(key.clone(), &chunk).unwrap();
+        assert!(matches!(outcome, PutOutcome::Stored(_)));
+        let back = ds.get_chunk(&key).unwrap();
+        assert_eq!(back, chunk);
+    }
+
+    #[test]
+    fn exact_dedup_stores_once() {
+        let (_dir, mut ds) = store(PlacementPolicy::ByIntermediate);
+        let chunk = f64_chunk(vec![1.0; 1000]);
+        ds.put_chunk(ChunkKey::new("m1.i0", "c", 0), &chunk)
+            .unwrap();
+        let second = ds
+            .put_chunk(ChunkKey::new("m2.i0", "c", 0), &chunk)
+            .unwrap();
+        assert_eq!(second, PutOutcome::Deduplicated);
+        let s = ds.stats();
+        assert_eq!(s.chunks_stored, 1);
+        assert_eq!(s.dedup_hits, 1);
+        assert!(s.logical_bytes > s.unique_bytes);
+        // Both keys resolve to the same data.
+        assert_eq!(
+            ds.get_chunk(&ChunkKey::new("m2.i0", "c", 0)).unwrap(),
+            chunk
+        );
+    }
+
+    #[test]
+    fn read_after_flush_hits_disk() {
+        let (_dir, mut ds) = store(PlacementPolicy::ByIntermediate);
+        let chunk = f64_chunk((0..2000).map(|i| (i % 37) as f64).collect());
+        let key = ChunkKey::new("m.i", "col", 0);
+        ds.put_chunk(key.clone(), &chunk).unwrap();
+        ds.flush().unwrap();
+        assert!(ds.disk_bytes().unwrap() > 0);
+        assert_eq!(ds.get_chunk(&key).unwrap(), chunk);
+        // Second read comes from the cache; clearing it forces disk again.
+        ds.clear_read_cache();
+        assert_eq!(ds.get_chunk(&key).unwrap(), chunk);
+    }
+
+    #[test]
+    fn similarity_policy_clusters_similar_chunks() {
+        let (_dir, mut ds) = store(PlacementPolicy::BySimilarity { tau: 0.5 });
+        let base: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        ds.put_chunk(ChunkKey::new("a", "c", 0), &f64_chunk(base.clone()))
+            .unwrap();
+        // Slightly perturbed copy: not identical (no exact dedup) but similar.
+        let mut near = base.clone();
+        near[0] += 0.001;
+        let outcome = ds
+            .put_chunk(ChunkKey::new("b", "c", 0), &f64_chunk(near))
+            .unwrap();
+        match outcome {
+            PutOutcome::Stored(_) => {}
+            PutOutcome::Deduplicated => panic!("should not be exact-dedup"),
+        }
+        assert_eq!(ds.stats().similarity_placements, 1);
+        assert_eq!(ds.stats().partitions_created, 1, "same partition reused");
+    }
+
+    #[test]
+    fn dissimilar_chunks_get_new_partitions() {
+        let (_dir, mut ds) = store(PlacementPolicy::BySimilarity { tau: 0.5 });
+        let a: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..1000).map(|i| (i as f64) * 1000.0 + 5e6).collect();
+        ds.put_chunk(ChunkKey::new("a", "c", 0), &f64_chunk(a))
+            .unwrap();
+        ds.put_chunk(ChunkKey::new("b", "c", 0), &f64_chunk(b))
+            .unwrap();
+        assert_eq!(ds.stats().partitions_created, 2);
+    }
+
+    #[test]
+    fn by_intermediate_colocates_columns() {
+        let (_dir, mut ds) = store(PlacementPolicy::ByIntermediate);
+        for col in ["n0", "n1", "n2"] {
+            let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+            // Different columns, different values per column name hash.
+            let mut v = vals.clone();
+            v[0] = col.len() as f64 * 1000.0;
+            ds.put_chunk(ChunkKey::new("model.layer3", col, 0), &f64_chunk(v))
+                .unwrap();
+        }
+        assert_eq!(ds.stats().partitions_created, 1);
+        // A different intermediate opens a new partition.
+        ds.put_chunk(
+            ChunkKey::new("model.layer4", "n0", 0),
+            &f64_chunk(vec![42.0; 100]),
+        )
+        .unwrap();
+        assert_eq!(ds.stats().partitions_created, 2);
+    }
+
+    #[test]
+    fn missing_key_not_found() {
+        let (_dir, mut ds) = store(PlacementPolicy::ByIntermediate);
+        assert!(matches!(
+            ds.get_chunk(&ChunkKey::new("x", "y", 0)),
+            Err(StoreError::NotFound)
+        ));
+        assert!(!ds.contains(&ChunkKey::new("x", "y", 0)));
+    }
+
+    #[test]
+    fn partition_seals_at_target_size() {
+        let dir = tempfile::tempdir().unwrap();
+        let config = DataStoreConfig {
+            policy: PlacementPolicy::ByIntermediate,
+            partition_target_bytes: 4096,
+            ..DataStoreConfig::default()
+        };
+        let mut ds = DataStore::open(dir.path(), config).unwrap();
+        // Each chunk ~4000 bytes: each fill seals a partition.
+        for i in 0..4 {
+            let vals: Vec<f64> = (0..500).map(|j| (i * 1000 + j) as f64).collect();
+            ds.put_chunk(ChunkKey::new("m.i", "c", i as u32), &f64_chunk(vals))
+                .unwrap();
+        }
+        assert!(
+            ds.disk_bytes().unwrap() > 0,
+            "sealed partitions reached disk"
+        );
+        // All chunks still readable.
+        for i in 0..4u32 {
+            assert!(ds.get_chunk(&ChunkKey::new("m.i", "c", i)).is_ok());
+        }
+    }
+
+    #[test]
+    fn dedup_across_pipelines_shrinks_physical_storage() {
+        // 10 "pipelines" sharing 9 of 10 columns: physical storage should be
+        // close to one pipeline's worth, not ten (Fig 6a behaviour).
+        let (_dir, mut ds) = store(PlacementPolicy::BySimilarity { tau: 0.7 });
+        for pipe in 0..10 {
+            for col in 0..10 {
+                let vals: Vec<f64> = if col == 9 {
+                    // The per-pipeline unique column (predictions).
+                    (0..1000).map(|i| (i + pipe * 7) as f64 * 1.3).collect()
+                } else {
+                    (0..1000).map(|i| (i * (col + 1)) as f64).collect()
+                };
+                ds.put_chunk(
+                    ChunkKey::new(format!("p{pipe}.final"), format!("c{col}"), 0),
+                    &f64_chunk(vals),
+                )
+                .unwrap();
+            }
+        }
+        let s = ds.stats();
+        assert_eq!(s.dedup_hits, 81, "9 shared cols x 9 later pipelines");
+        assert!(
+            s.unique_bytes * 4 < s.logical_bytes,
+            "at least 4x dedup gain"
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! On-disk partition storage: one file per sealed Partition.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::partition::PartitionId;
+use crate::StoreError;
+
+/// Persistent store writing sealed partitions to a directory.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    bytes_written: u64,
+    bytes_read: u64,
+}
+
+impl DiskStore {
+    /// Open (creating if needed) a disk store rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<DiskStore, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(DiskStore {
+            dir,
+            bytes_written: 0,
+            bytes_read: 0,
+        })
+    }
+
+    fn path_of(&self, id: PartitionId) -> PathBuf {
+        self.dir.join(format!("part_{id:08x}.bin"))
+    }
+
+    /// Write a sealed partition (overwrites any previous version).
+    pub fn write(&mut self, id: PartitionId, sealed: &[u8]) -> Result<(), StoreError> {
+        let mut f = fs::File::create(self.path_of(id))?;
+        f.write_all(sealed)?;
+        self.bytes_written += sealed.len() as u64;
+        Ok(())
+    }
+
+    /// Read a sealed partition's bytes.
+    pub fn read(&mut self, id: PartitionId) -> Result<Vec<u8>, StoreError> {
+        let mut f = fs::File::open(self.path_of(id)).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StoreError::NotFound
+            } else {
+                StoreError::Io(e)
+            }
+        })?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        self.bytes_read += buf.len() as u64;
+        Ok(buf)
+    }
+
+    /// Whether a partition file exists.
+    pub fn contains(&self, id: PartitionId) -> bool {
+        self.path_of(id).exists()
+    }
+
+    /// Total compressed bytes currently on disk.
+    pub fn disk_bytes(&self) -> Result<u64, StoreError> {
+        let mut total = 0;
+        for entry in fs::read_dir(&self.dir)? {
+            total += entry?.metadata()?.len();
+        }
+        Ok(total)
+    }
+
+    /// Cumulative bytes written (I/O volume, for the logging-overhead
+    /// experiment of Fig 11).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Cumulative bytes read from disk.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut store = DiskStore::open(dir.path()).unwrap();
+        store.write(3, b"sealed bytes").unwrap();
+        assert!(store.contains(3));
+        assert_eq!(store.read(3).unwrap(), b"sealed bytes");
+        assert_eq!(store.bytes_written(), 12);
+        assert_eq!(store.bytes_read(), 12);
+    }
+
+    #[test]
+    fn missing_partition_is_not_found() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut store = DiskStore::open(dir.path()).unwrap();
+        assert!(!store.contains(9));
+        assert!(matches!(store.read(9), Err(StoreError::NotFound)));
+    }
+
+    #[test]
+    fn disk_bytes_sums_files() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut store = DiskStore::open(dir.path()).unwrap();
+        store.write(1, &[0u8; 100]).unwrap();
+        store.write(2, &[0u8; 50]).unwrap();
+        assert_eq!(store.disk_bytes().unwrap(), 150);
+        // Overwrite shrinks the file.
+        store.write(1, &[0u8; 10]).unwrap();
+        assert_eq!(store.disk_bytes().unwrap(), 60);
+    }
+}

@@ -1,0 +1,202 @@
+//! Property tests on cross-crate invariants: arbitrary frames must survive
+//! the chunk → dedup → partition → compress → disk → decompress → stitch
+//! loop bit-exactly, and quantization error bounds must hold for arbitrary
+//! activation distributions.
+
+use std::time::Duration;
+
+use mistique_core::capture::CaptureScheme;
+use mistique_core::metadata::{IntermediateMeta, ModelKind, ModelMeta};
+use mistique_core::CostModel;
+use mistique_dataframe::{Column, ColumnData, DataFrame};
+use mistique_quantize::half::f16;
+use mistique_quantize::KbitQuantizer;
+use mistique_store::{ChunkKey, DataStore, DataStoreConfig, PlacementPolicy};
+use proptest::prelude::*;
+
+fn arb_column_data() -> impl Strategy<Value = ColumnData> {
+    let n = 1..200usize;
+    prop_oneof![
+        n.clone()
+            .prop_flat_map(|n| proptest::collection::vec(any::<f64>(), n))
+            .prop_map(ColumnData::F64),
+        n.clone()
+            .prop_flat_map(|n| proptest::collection::vec(any::<f32>(), n))
+            .prop_map(ColumnData::F32),
+        n.clone()
+            .prop_flat_map(|n| proptest::collection::vec(any::<i64>(), n))
+            .prop_map(ColumnData::I64),
+        n.clone()
+            .prop_flat_map(|n| proptest::collection::vec(any::<u8>(), n))
+            .prop_map(ColumnData::U8),
+        n.prop_flat_map(|n| proptest::collection::vec(any::<bool>(), n))
+            .prop_map(ColumnData::Bool),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // The full storage loop is lossless for arbitrary column data, under
+    // both placement policies, warm and cold.
+    #[test]
+    fn store_roundtrip_is_bit_exact(data in arb_column_data(), by_sim in any::<bool>()) {
+        let dir = tempfile::tempdir().unwrap();
+        let policy = if by_sim {
+            PlacementPolicy::BySimilarity { tau: 0.6 }
+        } else {
+            PlacementPolicy::ByIntermediate
+        };
+        let mut store = DataStore::open(
+            dir.path(),
+            DataStoreConfig { policy, ..DataStoreConfig::default() },
+        ).unwrap();
+        let chunk = mistique_dataframe::ColumnChunk::new(data);
+        let key = ChunkKey::new("m.i", "c", 0);
+        store.put_chunk(key.clone(), &chunk).unwrap();
+        // Warm read.
+        prop_assert_eq!(&store.get_chunk(&key).unwrap(), &chunk);
+        // Cold read from disk.
+        store.flush().unwrap();
+        store.clear_read_cache();
+        prop_assert_eq!(&store.get_chunk(&key).unwrap(), &chunk);
+    }
+
+    // Chunking a frame and stitching it back is the identity, for any block
+    // size.
+    #[test]
+    fn chunk_stitch_identity(
+        values in proptest::collection::vec(any::<f64>(), 1..500),
+        block in 1..64usize,
+    ) {
+        let df = DataFrame::from_columns(vec![Column::f64("x", values)]);
+        let mut chunks = Vec::new();
+        for (_, _, c) in df.chunks(block) {
+            chunks.push(c);
+        }
+        let back = DataFrame::from_chunks(vec![("x".to_string(), chunks)]);
+        prop_assert_eq!(back, df);
+    }
+
+    // f16 conversion error is within half-precision ULP bounds for normal
+    // values.
+    #[test]
+    fn f16_error_bound(v in -60000.0f32..60000.0) {
+        let r = f16::from_f32(v).to_f32();
+        // Relative error bounded by 2^-11 for normals; absolute fallback for
+        // values that land in the subnormal range.
+        let ok = if v.abs() >= 6.2e-5 {
+            (r - v).abs() <= v.abs() * 4.9e-4
+        } else {
+            (r - v).abs() <= 6e-8
+        };
+        prop_assert!(ok, "{v} -> {r}");
+    }
+
+    // KBIT quantization is monotone: order is preserved up to ties.
+    #[test]
+    fn kbit_codes_monotone(mut sample in proptest::collection::vec(-1000.0f32..1000.0, 10..300)) {
+        let q = KbitQuantizer::fit(&sample, 8);
+        sample.sort_by(|a, b| a.total_cmp(b));
+        let codes = q.encode_codes(&sample);
+        for w in codes.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    // Reconstruction never leaves the sample's value range.
+    #[test]
+    fn kbit_reconstruction_stays_in_range(
+        sample in proptest::collection::vec(-1e6f32..1e6, 2..200),
+        bits in 1u32..=8,
+    ) {
+        let q = KbitQuantizer::fit(&sample, bits);
+        let lo = sample.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = sample.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        for &v in &sample {
+            let r = q.value_of(q.code_of(v));
+            prop_assert!(r >= lo - 1e-3 && r <= hi + 1e-3, "{r} outside [{lo}, {hi}]");
+        }
+    }
+
+    // Cost-model monotonicity: reading more rows never predicts less time;
+    // re-running a DNN for more examples never predicts less time; gamma
+    // never decreases with more queries.
+    #[test]
+    fn cost_model_monotone(
+        bytes_per_row in 1u64..10_000,
+        cum_ms in 1u64..100_000,
+        n1 in 1usize..10_000,
+        extra in 1usize..10_000,
+        q1 in 0u64..1000,
+    ) {
+        let cm = CostModel::default();
+        let model = ModelMeta {
+            id: "m".into(),
+            kind: ModelKind::Dnn,
+            n_stages: 3,
+            model_load: Duration::from_millis(5),
+            n_examples: 10_000,
+            intermediates: vec![],
+        };
+        let mut meta = IntermediateMeta {
+            id: "m.i".into(),
+            model_id: "m".into(),
+            stage_index: 1,
+            n_rows: 10_000,
+            columns: vec![],
+            scheme: CaptureScheme::full(),
+            materialized: true,
+            stored_bytes: bytes_per_row * 10_000,
+            exec_time: Duration::from_millis(cum_ms),
+            cum_exec_time: Duration::from_millis(cum_ms),
+            n_queries: q1,
+            quantizer: None,
+            threshold: None,
+            shape: None,
+        };
+        let n2 = n1 + extra;
+        prop_assert!(cm.t_read(&meta, n2) >= cm.t_read(&meta, n1));
+        prop_assert!(cm.t_rerun(&model, &meta, n2) >= cm.t_rerun(&model, &meta, n1));
+        let g1 = cm.gamma(&model, &meta, meta.stored_bytes.max(1));
+        meta.n_queries = q1 + 1;
+        let g2 = cm.gamma(&model, &meta, meta.stored_bytes.max(1));
+        prop_assert!(g2 >= g1, "gamma must grow with queries: {g1} -> {g2}");
+    }
+
+    // The read-vs-rerun decision is consistent with the two predictions.
+    #[test]
+    fn decision_matches_predictions(
+        bytes_per_row in 1u64..1_000_000,
+        cum_ms in 0u64..1_000_000,
+        n in 1usize..10_000,
+    ) {
+        let cm = CostModel::default();
+        let model = ModelMeta {
+            id: "m".into(),
+            kind: ModelKind::Trad,
+            n_stages: 3,
+            model_load: Duration::ZERO,
+            n_examples: 10_000,
+            intermediates: vec![],
+        };
+        let meta = IntermediateMeta {
+            id: "m.i".into(),
+            model_id: "m".into(),
+            stage_index: 1,
+            n_rows: 10_000,
+            columns: vec![],
+            scheme: CaptureScheme::full(),
+            materialized: true,
+            stored_bytes: bytes_per_row * 10_000,
+            exec_time: Duration::from_millis(cum_ms),
+            cum_exec_time: Duration::from_millis(cum_ms),
+            n_queries: 0,
+            quantizer: None,
+            threshold: None,
+            shape: None,
+        };
+        let should = cm.should_read(&model, &meta, n);
+        prop_assert_eq!(should, cm.t_rerun(&model, &meta, n) >= cm.t_read(&meta, n));
+    }
+}

@@ -1,0 +1,115 @@
+//! Integration tests for the session query cache (Sec 10 future-work
+//! extension): repeated fetches in a diagnosis session are served from
+//! memory, and the cache never changes answers.
+
+use std::sync::Arc;
+
+use mistique_core::{FetchStrategy, Mistique, MistiqueConfig, StorageStrategy};
+use mistique_pipeline::templates::zillow_pipelines;
+use mistique_pipeline::ZillowData;
+
+fn cached_system(cache_bytes: usize) -> (tempfile::TempDir, Mistique, String) {
+    let dir = tempfile::tempdir().unwrap();
+    let mut sys = Mistique::open(
+        dir.path(),
+        MistiqueConfig {
+            query_cache_bytes: cache_bytes,
+            ..MistiqueConfig::default()
+        },
+    )
+    .unwrap();
+    let data = Arc::new(ZillowData::generate(300, 1));
+    let id = sys
+        .register_trad(zillow_pipelines().remove(0), data)
+        .unwrap();
+    sys.log_intermediates(&id).unwrap();
+    (dir, sys, id)
+}
+
+#[test]
+fn second_identical_fetch_is_cached_and_equal() {
+    let (_d, mut sys, id) = cached_system(16 << 20);
+    let preds = sys.intermediates_of(&id).last().unwrap().clone();
+    let first = sys.get_intermediate(&preds, Some(&["pred"]), None).unwrap();
+    assert_ne!(first.strategy, FetchStrategy::Cached);
+    let second = sys.get_intermediate(&preds, Some(&["pred"]), None).unwrap();
+    assert_eq!(second.strategy, FetchStrategy::Cached);
+    assert_eq!(first.frame, second.frame);
+    assert_eq!(sys.query_cache().hits(), 1);
+    // Query accounting still advances on cached hits.
+    assert_eq!(sys.metadata().intermediate(&preds).unwrap().n_queries, 2);
+}
+
+#[test]
+fn different_requests_are_different_entries() {
+    let (_d, mut sys, id) = cached_system(16 << 20);
+    let preds = sys.intermediates_of(&id).last().unwrap().clone();
+    sys.get_intermediate(&preds, Some(&["pred"]), None).unwrap();
+    // Different column set / row count => cache miss.
+    let all = sys.get_intermediate(&preds, None, None).unwrap();
+    assert_ne!(all.strategy, FetchStrategy::Cached);
+    let part = sys
+        .get_intermediate(&preds, Some(&["pred"]), Some(10))
+        .unwrap();
+    assert_ne!(part.strategy, FetchStrategy::Cached);
+    // But repeating each exact request hits.
+    assert_eq!(
+        sys.get_intermediate(&preds, None, None).unwrap().strategy,
+        FetchStrategy::Cached
+    );
+}
+
+#[test]
+fn cache_disabled_by_default() {
+    let (_d, mut sys, id) = cached_system(0);
+    let preds = sys.intermediates_of(&id).last().unwrap().clone();
+    for _ in 0..3 {
+        let r = sys.get_intermediate(&preds, Some(&["pred"]), None).unwrap();
+        assert_ne!(r.strategy, FetchStrategy::Cached);
+    }
+    assert_eq!(sys.query_cache().hits(), 0);
+}
+
+#[test]
+fn forcing_cached_strategy_is_invalid() {
+    let (_d, mut sys, id) = cached_system(1 << 20);
+    let preds = sys.intermediates_of(&id).last().unwrap().clone();
+    assert!(sys
+        .fetch_with_strategy(&preds, None, None, FetchStrategy::Cached)
+        .is_err());
+}
+
+#[test]
+fn adaptive_materialization_invalidates_cache() {
+    let dir = tempfile::tempdir().unwrap();
+    let mut sys = Mistique::open(
+        dir.path(),
+        MistiqueConfig {
+            storage: StorageStrategy::Adaptive { gamma_min: 1e-12 },
+            query_cache_bytes: 16 << 20,
+            ..MistiqueConfig::default()
+        },
+    )
+    .unwrap();
+    let data = Arc::new(ZillowData::generate(200, 1));
+    let id = sys
+        .register_trad(zillow_pipelines().remove(0), data)
+        .unwrap();
+    sys.log_intermediates(&id).unwrap();
+    let preds = sys.intermediates_of(&id).last().unwrap().clone();
+
+    // First fetch re-runs + materializes (invalidating the just-inserted
+    // entry is fine: correctness over hit rate).
+    let first = sys.get_intermediate(&preds, None, None).unwrap();
+    assert_eq!(first.strategy, FetchStrategy::Rerun);
+    let second = sys.get_intermediate(&preds, None, None).unwrap();
+    // Whether served by cache or read, the data must be identical.
+    assert_eq!(first.frame.n_rows(), second.frame.n_rows());
+    for col in first.frame.columns() {
+        let a = col.data.to_f64();
+        let b = second.frame.column(&col.name).unwrap().data.to_f64();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9 || (x.is_nan() && y.is_nan()));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Randomized stress test of the DataStore: a mixed workload of puts
+//! (duplicates, near-duplicates, unrelated data, mixed dtypes) under a tiny
+//! buffer pool, then every key read back — warm, cold, and after reopen.
+
+use mistique_dataframe::{ColumnChunk, ColumnData};
+use mistique_store::{ChunkKey, DataStore, DataStoreConfig, PlacementPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_chunk(rng: &mut StdRng, base: &[f64]) -> ColumnChunk {
+    match rng.gen_range(0..5) {
+        0 => {
+            // Exact duplicate of the base column.
+            ColumnChunk::new(ColumnData::F64(base.to_vec()))
+        }
+        1 => {
+            // Near-duplicate: one perturbed value.
+            let mut v = base.to_vec();
+            let i = rng.gen_range(0..v.len());
+            v[i] += 0.001;
+            ColumnChunk::new(ColumnData::F64(v))
+        }
+        2 => {
+            let v: Vec<f64> = (0..base.len()).map(|_| rng.gen_range(-1e6..1e6)).collect();
+            ColumnChunk::new(ColumnData::F64(v))
+        }
+        3 => {
+            let v: Vec<u8> = (0..base.len()).map(|_| rng.gen()).collect();
+            ColumnChunk::new(ColumnData::U8(v))
+        }
+        _ => {
+            let v: Vec<i64> = (0..base.len())
+                .map(|_| rng.gen_range(-1000..1000))
+                .collect();
+            ColumnChunk::new(ColumnData::I64(v))
+        }
+    }
+}
+
+#[test]
+fn mixed_workload_under_eviction_pressure() {
+    let dir = tempfile::tempdir().unwrap();
+    let config = DataStoreConfig {
+        policy: PlacementPolicy::BySimilarity { tau: 0.6 },
+        // Tiny pool + small partitions: constant eviction and sealing.
+        mem_capacity: 32 << 10,
+        partition_target_bytes: 8 << 10,
+        ..DataStoreConfig::default()
+    };
+    let mut store = DataStore::open(dir.path(), config).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(77);
+    let base: Vec<f64> = (0..200).map(|i| i as f64 * 0.5).collect();
+
+    let mut written: Vec<(ChunkKey, ColumnChunk)> = Vec::new();
+    for i in 0..300 {
+        let chunk = random_chunk(&mut rng, &base);
+        let key = ChunkKey::new(
+            format!("m{}.i{}", i % 7, i % 13),
+            format!("c{i}"),
+            (i % 3) as u32,
+        );
+        store.put_chunk(key.clone(), &chunk).unwrap();
+        written.push((key, chunk));
+    }
+
+    // Warm reads: every key returns its exact chunk.
+    for (key, chunk) in &written {
+        assert_eq!(&store.get_chunk(key).unwrap(), chunk, "warm {key:?}");
+    }
+
+    // Cold reads after flushing everything to disk.
+    store.flush().unwrap();
+    store.clear_read_cache();
+    for (key, chunk) in &written {
+        assert_eq!(&store.get_chunk(key).unwrap(), chunk, "cold {key:?}");
+    }
+
+    // Catalog export/import into a fresh store over the same directory.
+    let catalog = store.export_catalog();
+    drop(store);
+    let mut reopened = DataStore::open(
+        dir.path(),
+        DataStoreConfig {
+            policy: PlacementPolicy::BySimilarity { tau: 0.6 },
+            ..DataStoreConfig::default()
+        },
+    )
+    .unwrap();
+    reopened.import_catalog(catalog);
+    for (key, chunk) in &written {
+        assert_eq!(&reopened.get_chunk(key).unwrap(), chunk, "reopened {key:?}");
+    }
+
+    // Accounting sanity: duplicates were deduped, all bytes accounted.
+    let stats = reopened.stats();
+    assert!(
+        stats.dedup_hits > 0,
+        "exact duplicates in the workload must dedup"
+    );
+    assert!(stats.unique_bytes <= stats.logical_bytes);
+    assert_eq!(stats.chunks_stored + stats.dedup_hits, 300);
+}
+
+#[test]
+fn same_key_rewritten_with_new_content_resolves_to_latest() {
+    let dir = tempfile::tempdir().unwrap();
+    let mut store = DataStore::open(dir.path(), DataStoreConfig::default()).unwrap();
+    let key = ChunkKey::new("m.i", "c", 0);
+    let first = ColumnChunk::new(ColumnData::F64(vec![1.0, 2.0]));
+    let second = ColumnChunk::new(ColumnData::F64(vec![3.0, 4.0]));
+    store.put_chunk(key.clone(), &first).unwrap();
+    store.put_chunk(key.clone(), &second).unwrap();
+    assert_eq!(store.get_chunk(&key).unwrap(), second);
+}
