@@ -178,6 +178,29 @@ pub fn dnn_system(
     (sys, ids, data)
 }
 
+/// Write an observability snapshot to `BENCH_<name>.json` — in the directory
+/// named by `MISTIQUE_BENCH_DIR` when set, else the working directory — so
+/// benchmark runs leave a machine-readable perf record next to their stdout
+/// tables. Returns the path written.
+pub fn write_obs_snapshot(name: &str, obs: &mistique_core::Obs) -> std::path::PathBuf {
+    let dir = std::env::var("MISTIQUE_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    write_obs_snapshot_to(std::path::Path::new(&dir), name, obs)
+}
+
+/// [`write_obs_snapshot`] with an explicit target directory.
+pub fn write_obs_snapshot_to(
+    dir: &std::path::Path,
+    name: &str,
+    obs: &mistique_core::Obs,
+) -> std::path::PathBuf {
+    let path = dir.join(format!("BENCH_{name}.json"));
+    match std::fs::write(&path, obs.snapshot().to_json_string()) {
+        Ok(()) => println!("\nwrote perf snapshot to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    path
+}
+
 /// Default channel scale for VGG16 experiments (keeps the geometry, divides
 /// the widths; see DESIGN.md Sec 5).
 pub const DEFAULT_VGG_SCALE: usize = 8;
@@ -204,6 +227,17 @@ mod tests {
         let (sys, ids, _) = zillow_system(dir.path(), 120, 2, StorageStrategy::Dedup);
         assert_eq!(ids.len(), 2);
         assert!(sys.store().stats().chunks_stored > 0);
+    }
+
+    #[test]
+    fn obs_snapshot_file_is_written() {
+        let dir = tempfile::tempdir().unwrap();
+        let obs = mistique_core::Obs::new();
+        obs.counter("bench.test").add(7);
+        let path = write_obs_snapshot_to(dir.path(), "unit", &obs);
+        assert_eq!(path.file_name().unwrap(), "BENCH_unit.json");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"bench.test\":7"));
     }
 
     #[test]

@@ -27,6 +27,19 @@ pub enum Scheme {
 }
 
 impl Scheme {
+    /// Short lowercase name for reporting (metric labels, stats output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Raw => "raw",
+            Scheme::Rle => "rle",
+            Scheme::Lzss => "lzss",
+            Scheme::Delta4 => "delta4",
+            Scheme::Delta1 => "delta1",
+            Scheme::Delta8 => "delta8",
+            Scheme::XorF32 => "xorf32",
+        }
+    }
+
     fn from_u8(v: u8) -> Option<Scheme> {
         Some(match v {
             0 => Scheme::Raw,
@@ -123,6 +136,12 @@ fn compress_auto_from(input: &[u8], candidates: &[Scheme]) -> Vec<u8> {
         }
     }
     best
+}
+
+/// The scheme recorded in a frame header, without decoding the payload.
+/// `None` when the buffer is empty or the scheme byte is unknown.
+pub fn scheme_of(frame: &[u8]) -> Option<Scheme> {
+    frame.first().and_then(|&b| Scheme::from_u8(b))
 }
 
 /// Decode a frame produced by [`compress`] or [`compress_auto`].

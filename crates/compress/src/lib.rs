@@ -26,7 +26,9 @@ pub mod rle;
 pub mod varint;
 pub mod xorf;
 
-pub use frame::{compress, compress_auto, compress_auto_extended, decompress, CodecError, Scheme};
+pub use frame::{
+    compress, compress_auto, compress_auto_extended, decompress, scheme_of, CodecError, Scheme,
+};
 
 /// Compression statistics for reporting (used by the Fig 14 microbenchmark).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -7,6 +7,7 @@
 //! mistique head  <dir> <intermediate> [n]    # first n rows
 //! mistique topk  <dir> <intermediate> <column> [k]
 //! mistique hist  <dir> <intermediate> <column> [buckets]
+//! mistique stats <dir> [--json <file>]       # metrics + span report
 //! ```
 //!
 //! Works on any directory produced by `Mistique::persist()`; only reads are
@@ -21,7 +22,7 @@ use mistique_pipeline::ZillowData;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mistique <demo|info|show|head|topk|hist> <dir> [args...]\n\
+        "usage: mistique <demo|info|show|head|topk|hist|stats> <dir> [args...]\n\
          run `mistique demo /tmp/mq && mistique info /tmp/mq` to try it"
     );
     ExitCode::FAILURE
@@ -154,6 +155,39 @@ fn run(cmd: &str, dir: &str, rest: &[String]) -> Result<(), Box<dyn std::error::
                     b.count,
                     "#".repeat(b.count * 50 / max)
                 );
+            }
+        }
+        "stats" => {
+            // Exercise the read path once per materialized intermediate so
+            // the report covers live chunk reads and cost decisions, not
+            // just load-time state.
+            let mut sys = open(dir)?;
+            let interms: Vec<String> = sys
+                .model_ids()
+                .iter()
+                .flat_map(|m| sys.intermediates_of(m))
+                .collect();
+            let mut exercised = 0;
+            for interm in &interms {
+                let materialized = sys
+                    .metadata()
+                    .intermediate(interm)
+                    .map(|m| m.materialized)
+                    .unwrap_or(false);
+                if materialized
+                    && sys
+                        .fetch_with_strategy(interm, None, Some(8), FetchStrategy::Read)
+                        .is_ok()
+                {
+                    exercised += 1;
+                }
+            }
+            println!("observability report for {dir} ({exercised} sample reads)\n");
+            print!("{}", sys.obs_report());
+            if let Some(pos) = rest.iter().position(|a| a == "--json") {
+                let path = rest.get(pos + 1).ok_or("--json needs a file path")?;
+                std::fs::write(path, sys.obs_snapshot_json().to_string())?;
+                println!("\nwrote JSON snapshot to {path}");
             }
         }
         _ => {

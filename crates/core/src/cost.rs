@@ -225,4 +225,23 @@ mod tests {
         cm.observe_read(0, Duration::from_secs(1)); // ignored
         assert!((cm.read_bandwidth - 550.0).abs() < 1e-9);
     }
+
+    #[test]
+    fn calibration_converges_to_steady_observed_bandwidth() {
+        let mut cm = CostModel::default(); // 400 MiB/s pre-calibration guess
+        let start = cm.read_bandwidth;
+        // Steady stream of reads at 100 MB/s, far from the initial guess.
+        let target = 1e8;
+        for _ in 0..50 {
+            cm.observe_read(1_000_000, Duration::from_millis(10));
+        }
+        assert!(
+            (cm.read_bandwidth - target).abs() / target < 1e-3,
+            "bandwidth {} did not converge to {target} from {start}",
+            cm.read_bandwidth
+        );
+        // Convergence is monotone-stable: further folds stay put.
+        cm.observe_read(1_000_000, Duration::from_millis(10));
+        assert!((cm.read_bandwidth - target).abs() / target < 1e-3);
+    }
 }

@@ -60,8 +60,11 @@ pub mod system;
 
 pub use capture::{CaptureScheme, ValueScheme};
 pub use cost::CostModel;
+// Observability (the `mistique-obs` crate) re-exported for convenience:
+// `Mistique::obs()` hands out an `Obs`, snapshots come back as `Snapshot`.
 pub use error::MistiqueError;
 pub use executor::ModelSource;
 pub use metadata::{IntermediateMeta, MetadataDb, ModelKind};
+pub use mistique_obs::{Counter, Gauge, Histogram, Obs, Snapshot, Span};
 pub use reader::{FetchResult, FetchStrategy};
 pub use system::{Mistique, MistiqueConfig, StorageStrategy};

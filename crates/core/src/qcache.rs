@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use mistique_dataframe::DataFrame;
+use mistique_obs::{Counter, Gauge, Obs};
 
 /// Cache key: the exact fetch request.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -35,6 +36,26 @@ impl CacheKey {
     }
 }
 
+/// Cached obs handles mirroring the cache's own counters.
+#[derive(Debug)]
+struct QcObs {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    used_bytes: Gauge,
+}
+
+impl QcObs {
+    fn new(obs: &Obs) -> QcObs {
+        QcObs {
+            hits: obs.counter("qcache.hits"),
+            misses: obs.counter("qcache.misses"),
+            evictions: obs.counter("qcache.evictions"),
+            used_bytes: obs.gauge("qcache.used_bytes"),
+        }
+    }
+}
+
 /// Byte-budgeted LRU cache of fetched frames.
 #[derive(Debug, Default)]
 pub struct QueryCache {
@@ -45,6 +66,8 @@ pub struct QueryCache {
     lru: Vec<CacheKey>,
     hits: u64,
     misses: u64,
+    evictions: u64,
+    obs: Option<QcObs>,
 }
 
 impl QueryCache {
@@ -71,9 +94,27 @@ impl QueryCache {
         self.misses
     }
 
+    /// Entries evicted under byte-budget pressure so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
     /// Bytes currently cached.
     pub fn used_bytes(&self) -> usize {
         self.used_bytes
+    }
+
+    /// Mirror this cache's counters into an observability registry
+    /// (`qcache.hits` / `qcache.misses` / `qcache.evictions` /
+    /// `qcache.used_bytes`).
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.obs = Some(QcObs::new(obs));
+    }
+
+    fn sync_used_bytes(&self) {
+        if let Some(o) = &self.obs {
+            o.used_bytes.set_u64(self.used_bytes as u64);
+        }
     }
 
     pub(crate) fn get(&mut self, key: &CacheKey) -> Option<DataFrame> {
@@ -83,6 +124,9 @@ impl QueryCache {
         match self.entries.get(key) {
             Some(frame) => {
                 self.hits += 1;
+                if let Some(o) = &self.obs {
+                    o.hits.inc();
+                }
                 if let Some(pos) = self.lru.iter().position(|k| k == key) {
                     let k = self.lru.remove(pos);
                     self.lru.push(k);
@@ -91,6 +135,9 @@ impl QueryCache {
             }
             None => {
                 self.misses += 1;
+                if let Some(o) = &self.obs {
+                    o.misses.inc();
+                }
                 None
             }
         }
@@ -113,10 +160,15 @@ impl QueryCache {
             if let Some(old) = self.entries.remove(&victim) {
                 self.used_bytes -= old.nbytes();
             }
+            self.evictions += 1;
+            if let Some(o) = &self.obs {
+                o.evictions.inc();
+            }
         }
         self.used_bytes += bytes;
         self.entries.insert(key.clone(), frame.clone());
         self.lru.push(key);
+        self.sync_used_bytes();
     }
 
     /// Drop every entry of one intermediate (storage state changed).
@@ -133,6 +185,7 @@ impl QueryCache {
             }
             self.lru.retain(|k| k != &key);
         }
+        self.sync_used_bytes();
     }
 
     /// Drop everything.
@@ -140,6 +193,7 @@ impl QueryCache {
         self.entries.clear();
         self.lru.clear();
         self.used_bytes = 0;
+        self.sync_used_bytes();
     }
 }
 
@@ -196,6 +250,7 @@ mod tests {
         assert!(c.get(&k1).is_some());
         assert!(c.get(&k3).is_some());
         assert!(c.used_bytes() <= 1700);
+        assert_eq!(c.evictions(), 1);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! chunks or re-running the model, whichever the cost model prefers, plus
 //! adaptive materialization (Sec 4.3) on the re-run path.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use mistique_dataframe::{Column, ColumnData, DataFrame};
 use mistique_store::ChunkKey;
@@ -64,6 +64,7 @@ impl Mistique {
         // Session query cache: serve repeated identical fetches directly.
         let cache_key = crate::qcache::CacheKey::new(intermediate_id, columns, n_ex);
         if let Some(frame) = self.qcache.get(&cache_key) {
+            self.obs.counter("decision.cached.count").inc();
             self.meta.bump_queries(intermediate_id);
             return Ok(FetchResult {
                 frame,
@@ -119,7 +120,18 @@ impl Mistique {
             }
         }
 
-        let t0 = Instant::now();
+        let (span_name, decision) = match strategy {
+            FetchStrategy::Read => ("fetch.read", "read"),
+            FetchStrategy::Rerun => ("fetch.rerun", "rerun"),
+            FetchStrategy::Cached => {
+                return Err(MistiqueError::Invalid(
+                    "Cached is not a forcible strategy; use get_intermediate".into(),
+                ))
+            }
+        };
+        // The span is the fetch timer (one source of truth for fetch_time).
+        let mut sp = self.obs.span(span_name);
+        sp.attr("interm", intermediate_id).attr("n_ex", n);
         let frame = match strategy {
             FetchStrategy::Read => {
                 if !meta.materialized {
@@ -128,9 +140,12 @@ impl Mistique {
                     )));
                 }
                 let f = self.read_stored(&meta, columns, n)?;
-                let elapsed = t0.elapsed();
                 let bytes = (meta.bytes_per_row() * n as f64) as u64;
-                self.cost.observe_read(bytes, elapsed);
+                self.cost.observe_read(bytes, sp.elapsed());
+                self.obs.counter("cost.observe_read.count").inc();
+                self.obs
+                    .gauge("cost.read_bandwidth")
+                    .set(self.cost.read_bandwidth);
                 f
             }
             FetchStrategy::Rerun => {
@@ -141,13 +156,24 @@ impl Mistique {
                     .ok_or_else(|| MistiqueError::UnknownModel(meta.model_id.clone()))?;
                 self.rerun_and_maybe_materialize(&source, &meta.id, columns, n)?
             }
-            FetchStrategy::Cached => {
-                return Err(MistiqueError::Invalid(
-                    "Cached is not a forcible strategy; use get_intermediate".into(),
-                ))
-            }
+            FetchStrategy::Cached => unreachable!("rejected above"),
         };
-        let fetch_time = t0.elapsed();
+        let fetch_time = sp.finish();
+
+        // Record the decision with its estimated and actual costs.
+        let predicted = match strategy {
+            FetchStrategy::Read => predicted_read,
+            _ => predicted_rerun,
+        };
+        self.obs
+            .counter(&format!("decision.{decision}.count"))
+            .inc();
+        self.obs
+            .histogram(&format!("decision.{decision}.predicted_ns"))
+            .record((predicted.max(0.0) * 1e9) as u64);
+        self.obs
+            .histogram(&format!("decision.{decision}.actual_ns"))
+            .record_duration(fetch_time);
 
         self.meta.bump_queries(intermediate_id);
         Ok(FetchResult {
@@ -218,7 +244,8 @@ impl Mistique {
         blocks.sort_unstable();
         blocks.dedup();
 
-        let t0 = Instant::now();
+        let mut sp = self.obs.span("fetch.rows");
+        sp.attr("interm", intermediate_id).attr("rows", rows.len());
         let mut out_cols = Vec::with_capacity(wanted.len());
         for name in &wanted {
             // Decode only the touched blocks.
@@ -235,7 +262,7 @@ impl Mistique {
             let values: Vec<f64> = rows.iter().map(|&r| decoded[&(r / rbs)][r % rbs]).collect();
             out_cols.push(Column::f64(name.clone(), values));
         }
-        let fetch_time = t0.elapsed();
+        let fetch_time = sp.finish();
         self.meta.bump_queries(intermediate_id);
         Ok(FetchResult {
             frame: DataFrame::from_columns(out_cols),
@@ -324,7 +351,10 @@ impl Mistique {
                 let gamma = self
                     .cost
                     .gamma(&model, &projected, meta.stored_bytes.max(1));
+                self.obs.counter("adaptive.gamma_evals").inc();
+                self.obs.gauge("adaptive.last_gamma").set(gamma);
                 if gamma >= gamma_min {
+                    self.obs.counter("adaptive.materializations").inc();
                     self.qcache.invalidate(intermediate_id);
                     let stored = self.store_frame(intermediate_id, &frame, source.kind())?;
                     let m = self.meta.intermediate_mut(intermediate_id).unwrap();

@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 
 use mistique_dataframe::{ColumnChunk, DataFrame};
 use mistique_nn::{ArchConfig, CifarLike, Model};
+use mistique_obs::Obs;
 use mistique_pipeline::{Pipeline, ZillowData};
 use mistique_store::{ChunkKey, DataStore, DataStoreConfig, PlacementPolicy};
 
@@ -78,13 +79,28 @@ pub struct Mistique {
     pub(crate) log_time: HashMap<String, Duration>,
     /// Session query cache.
     pub(crate) qcache: crate::qcache::QueryCache,
+    /// Shared observability handle (metrics registry + span tracer).
+    pub(crate) obs: Obs,
 }
 
 impl Mistique {
-    /// Open a MISTIQUE instance persisting under `dir`.
+    /// Open a MISTIQUE instance persisting under `dir`, with a fresh
+    /// observability registry.
     pub fn open(dir: impl AsRef<Path>, config: MistiqueConfig) -> Result<Mistique, MistiqueError> {
-        let store = DataStore::open(&dir, config.datastore.clone())?;
-        let qcache = crate::qcache::QueryCache::new(config.query_cache_bytes);
+        Self::open_with_obs(dir, config, Obs::new())
+    }
+
+    /// Open a MISTIQUE instance that reports into an existing [`Obs`] —
+    /// e.g. one shared by several systems in a benchmark run.
+    pub fn open_with_obs(
+        dir: impl AsRef<Path>,
+        config: MistiqueConfig,
+        obs: Obs,
+    ) -> Result<Mistique, MistiqueError> {
+        let mut store = DataStore::open(&dir, config.datastore.clone())?;
+        store.set_obs(&obs);
+        let mut qcache = crate::qcache::QueryCache::new(config.query_cache_bytes);
+        qcache.attach_obs(&obs);
         Ok(Mistique {
             dir: dir.as_ref().to_path_buf(),
             config,
@@ -94,6 +110,7 @@ impl Mistique {
             sources: HashMap::new(),
             log_time: HashMap::new(),
             qcache,
+            obs,
         })
     }
 
@@ -195,6 +212,40 @@ impl Mistique {
         &self.qcache
     }
 
+    /// The system's observability handle. Clone it to record your own
+    /// metrics or spans alongside the built-in instrumentation.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// A point-in-time snapshot of every metric and span aggregate.
+    pub fn obs_snapshot(&self) -> mistique_obs::Snapshot {
+        self.sync_obs_gauges();
+        self.obs.snapshot()
+    }
+
+    /// The snapshot rendered as a human-readable report (`mistique stats`).
+    pub fn obs_report(&self) -> String {
+        self.obs_snapshot().render_text()
+    }
+
+    /// The snapshot as parsed JSON.
+    pub fn obs_snapshot_json(&self) -> serde_json::Value {
+        serde_json::from_str(&self.obs_snapshot().to_json_string())
+            .expect("obs snapshot serializes to valid JSON")
+    }
+
+    /// Refresh gauges that mirror pull-style state (cost-model calibration,
+    /// catalog sizes) so snapshots always carry current values.
+    fn sync_obs_gauges(&self) {
+        self.obs
+            .gauge("cost.read_bandwidth")
+            .set(self.cost.read_bandwidth);
+        self.obs
+            .gauge("meta.models")
+            .set_u64(self.meta.model_ids().len() as u64);
+    }
+
     /// Flush open partitions to disk.
     pub fn flush(&mut self) -> Result<(), MistiqueError> {
         self.store.flush()?;
@@ -210,7 +261,8 @@ impl Mistique {
             .get(model_id)
             .cloned()
             .ok_or_else(|| MistiqueError::UnknownModel(model_id.to_string()))?;
-        let t0 = Instant::now();
+        // The span doubles as the overhead timer (Fig 11's metric).
+        let sp = mistique_obs::span!(self.obs, "log_intermediates", model = model_id);
         match &source {
             ModelSource::Trad { pipeline, data } => self.log_trad(pipeline, data)?,
             ModelSource::Dnn {
@@ -221,7 +273,7 @@ impl Mistique {
                 ..
             } => self.log_dnn(&source, arch, *seed, *epoch, data)?,
         }
-        self.log_time.insert(model_id.to_string(), t0.elapsed());
+        self.log_time.insert(model_id.to_string(), sp.finish());
         Ok(())
     }
 
@@ -230,6 +282,7 @@ impl Mistique {
     /// intermediates serially (the DataStore is single-writer). DNN ids fall
     /// back to sequential logging.
     pub fn log_intermediates_parallel(&mut self, model_ids: &[&str]) -> Result<(), MistiqueError> {
+        let _sp = mistique_obs::span!(self.obs, "log_intermediates.parallel", n = model_ids.len());
         // Partition into parallelizable TRAD runs and sequential DNN runs.
         let mut trad: Vec<(String, Pipeline, Arc<ZillowData>)> = Vec::new();
         let mut dnn: Vec<String> = Vec::new();

@@ -1,0 +1,339 @@
+//! Snapshot exporters: a human-readable text report and a JSON document.
+//!
+//! JSON emission is hand-rolled on std (this crate is dependency-free); the
+//! output is plain standard JSON, so callers with `serde_json` can parse it
+//! straight into a `Value` (see `Mistique::obs_snapshot_json`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::hist::HistSummary;
+use crate::span::{SpanRecord, SpanSummary};
+
+/// A point-in-time snapshot of every metric and span aggregate in an
+/// [`crate::Obs`].
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistSummary>,
+    /// Per-span-name aggregate timings.
+    pub spans: BTreeMap<String, SpanSummary>,
+    /// Ring buffer of recently finished spans, oldest first.
+    pub recent_spans: Vec<SpanRecord>,
+}
+
+impl Snapshot {
+    /// Counter value, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, 0.0 when absent.
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Histogram summary, zeroed when absent.
+    pub fn histogram(&self, name: &str) -> HistSummary {
+        self.histograms.get(name).copied().unwrap_or_default()
+    }
+
+    /// Span aggregate, zeroed when absent.
+    pub fn span(&self, name: &str) -> SpanSummary {
+        self.spans.get(name).copied().unwrap_or_default()
+    }
+
+    /// Render the snapshot as an aligned, human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("== counters ==\n");
+            let w = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<w$}  {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("== gauges ==\n");
+            let w = self.gauges.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<w$}  {v:.3}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("== histograms ==\n");
+            let w = self.histograms.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<w$}  n={} mean={:.1} p50={} p90={} p99={} max={}",
+                    h.count, h.mean, h.p50, h.p90, h.p99, h.max
+                );
+            }
+        }
+        if !self.spans.is_empty() {
+            out.push_str("== spans ==\n");
+            let w = self.spans.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, s) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {name:<w$}  n={} total={} p50={} p90={} p99={} max={}",
+                    s.count,
+                    fmt_ns(s.total_ns),
+                    fmt_ns(s.p50_ns),
+                    fmt_ns(s.p90_ns),
+                    fmt_ns(s.p99_ns),
+                    fmt_ns(s.max_ns)
+                );
+            }
+        }
+        if !self.recent_spans.is_empty() {
+            out.push_str("== recent spans (oldest first) ==\n");
+            for r in &self.recent_spans {
+                let _ = write!(
+                    out,
+                    "  [+{}] {} ({})",
+                    fmt_ns(r.start_ns),
+                    r.name,
+                    fmt_ns(r.dur_ns)
+                );
+                if let Some(p) = &r.parent {
+                    let _ = write!(out, " parent={p}");
+                }
+                for (k, v) in &r.attrs {
+                    let _ = write!(out, " {k}={v}");
+                }
+                out.push('\n');
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+
+    /// Serialize the snapshot as a JSON document.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        out.push_str("\"counters\":{");
+        push_entries(&mut out, self.counters.iter(), |out, v| {
+            let _ = write!(out, "{v}");
+        });
+        out.push_str("},\"gauges\":{");
+        push_entries(&mut out, self.gauges.iter(), |out, v| push_f64(out, *v));
+        out.push_str("},\"histograms\":{");
+        push_entries(&mut out, self.histograms.iter(), |out, h| {
+            let _ = write!(
+                out,
+                "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":",
+                h.count, h.sum, h.min, h.max
+            );
+            push_f64(out, h.mean);
+            let _ = write!(
+                out,
+                ",\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                h.p50, h.p90, h.p99
+            );
+        });
+        out.push_str("},\"spans\":{");
+        push_entries(&mut out, self.spans.iter(), |out, s| {
+            let _ = write!(
+                out,
+                "{{\"count\":{},\"total_ns\":{},\"mean_ns\":",
+                s.count, s.total_ns
+            );
+            push_f64(out, s.mean_ns);
+            let _ = write!(
+                out,
+                ",\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                s.p50_ns, s.p90_ns, s.p99_ns, s.max_ns
+            );
+        });
+        out.push_str("},\"recent_spans\":[");
+        for (i, r) in self.recent_spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_string(&mut out, &r.name);
+            out.push_str(",\"parent\":");
+            match &r.parent {
+                Some(p) => push_json_string(&mut out, p),
+                None => out.push_str("null"),
+            }
+            let _ = write!(
+                out,
+                ",\"start_ns\":{},\"dur_ns\":{},\"attrs\":{{",
+                r.start_ns, r.dur_ns
+            );
+            for (j, (k, v)) in r.attrs.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_json_string(&mut out, k);
+                out.push(':');
+                push_json_string(&mut out, v);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Write `"key":<value>` entries separated by commas.
+fn push_entries<'a, V: 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a String, &'a V)>,
+    mut write_value: impl FnMut(&mut String, &'a V),
+) {
+    for (i, (name, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(out, name);
+        out.push(':');
+        write_value(out, v);
+    }
+}
+
+/// JSON has no NaN/Infinity; map them to null.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+        // `Display` for f64 omits the decimal point for integral values,
+        // which is still valid JSON (e.g. `3`).
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Escape and quote a JSON string.
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Format nanoseconds with adaptive units for the text report.
+fn fmt_ns(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.1}us", s * 1e6)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    fn populated() -> Snapshot {
+        let obs = Obs::new();
+        obs.counter("store.put.count").add(3);
+        obs.gauge("cost.read_bandwidth").set(123.5);
+        obs.histogram("store.put.ns").record(1000);
+        let mut sp = obs.span("fetch.read");
+        sp.attr("interm", "m1.\"quoted\"\n");
+        drop(sp);
+        obs.snapshot()
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let json = populated().to_json_string();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"store.put.count\":3"));
+        assert!(json.contains("\"cost.read_bandwidth\":123.5"));
+        assert!(json.contains("\\\"quoted\\\"\\n"));
+        // Balanced braces/brackets outside of strings (crude structural check).
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut esc = false;
+        for c in json.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn nonfinite_gauges_become_null() {
+        let obs = Obs::new();
+        obs.gauge("bad").set(f64::INFINITY);
+        let json = obs.snapshot().to_json_string();
+        assert!(json.contains("\"bad\":null"));
+    }
+
+    #[test]
+    fn text_report_mentions_every_section() {
+        let text = populated().render_text();
+        assert!(text.contains("== counters =="));
+        assert!(text.contains("store.put.count"));
+        assert!(text.contains("== gauges =="));
+        assert!(text.contains("== histograms =="));
+        assert!(text.contains("== spans =="));
+        assert!(text.contains("== recent spans"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let s = Snapshot::default();
+        assert!(s.render_text().contains("no metrics recorded"));
+        assert_eq!(
+            s.to_json_string(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{},\"spans\":{},\"recent_spans\":[]}"
+        );
+    }
+
+    #[test]
+    fn accessors_default_to_zero() {
+        let s = Snapshot::default();
+        assert_eq!(s.counter("missing"), 0);
+        assert_eq!(s.gauge("missing"), 0.0);
+        assert_eq!(s.histogram("missing").count, 0);
+        assert_eq!(s.span("missing").count, 0);
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(500), "500ns");
+        assert_eq!(fmt_ns(2_500), "2.5us");
+        assert_eq!(fmt_ns(3_000_000), "3.000ms");
+        assert_eq!(fmt_ns(1_500_000_000), "1.500s");
+    }
+}

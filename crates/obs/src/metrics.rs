@@ -1,0 +1,168 @@
+//! Lock-free scalar metrics: sharded counters and float gauges.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of counter shards. A power of two so the thread-local shard id can
+/// be masked instead of modded.
+pub(crate) const SHARDS: usize = 8;
+
+/// One cache line per shard so concurrent writers do not false-share.
+#[repr(align(64))]
+pub(crate) struct Shard(pub(crate) AtomicU64);
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each thread gets a stable shard assignment round-robin at first use.
+    static SHARD_IDX: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) & (SHARDS - 1);
+}
+
+pub(crate) fn shard_index() -> usize {
+    SHARD_IDX.with(|v| *v)
+}
+
+pub(crate) struct CounterCore {
+    shards: [Shard; SHARDS],
+}
+
+impl CounterCore {
+    pub(crate) fn new() -> CounterCore {
+        CounterCore {
+            shards: std::array::from_fn(|_| Shard(AtomicU64::new(0))),
+        }
+    }
+}
+
+/// A monotonically increasing counter. Increments are a single relaxed
+/// `fetch_add` on the calling thread's shard — no locks anywhere on the
+/// write path. Handles are cheap clones of one shared core.
+#[derive(Clone)]
+pub struct Counter(pub(crate) Arc<CounterCore>);
+
+impl Counter {
+    /// A standalone counter not attached to any registry (mostly for tests).
+    pub fn standalone() -> Counter {
+        Counter(Arc::new(CounterCore::new()))
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.shards[shard_index()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value (sum over shards).
+    pub fn get(&self) -> u64 {
+        self.0
+            .shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+pub(crate) struct GaugeCore {
+    bits: AtomicU64,
+}
+
+/// A last-value-wins gauge holding an `f64` (stored as its bit pattern in an
+/// atomic, so reads and writes are lock-free).
+#[derive(Clone)]
+pub struct Gauge(pub(crate) Arc<GaugeCore>);
+
+impl Gauge {
+    /// A standalone gauge not attached to any registry.
+    pub fn standalone() -> Gauge {
+        Gauge(Arc::new(GaugeCore {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }))
+    }
+
+    pub(crate) fn new_core() -> GaugeCore {
+        GaugeCore {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Set from an integer quantity (bytes, lengths, ...).
+    #[inline]
+    pub fn set_u64(&self, v: u64) {
+        self.set(v as f64);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.bits.load(Ordering::Relaxed))
+    }
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds_up() {
+        let c = Counter::standalone();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn counter_concurrent_increments_are_lossless() {
+        let c = Counter::standalone();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), threads * per_thread);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let g = Gauge::standalone();
+        assert_eq!(g.get(), 0.0);
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(g.get(), -2.25);
+        g.set_u64(7);
+        assert_eq!(g.get(), 7.0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Lightweight hierarchical span tracing.
+//!
+//! A [`Span`] is a timed guard: created via [`crate::Obs::span`] (or the
+//! [`crate::span!`] macro, which also attaches key=value attributes),
+//! finished explicitly with [`Span::finish`] (returning the measured
+//! duration, so callers can use the span itself as their timer) or
+//! implicitly on drop. Finished spans land in a bounded ring buffer of
+//! recent spans and in per-name aggregate histograms. Parent links are
+//! inferred from a thread-local stack of active spans.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use crate::hist::{HistCore, HistSummary, Histogram};
+
+/// How many finished spans the ring buffer keeps.
+pub(crate) const DEFAULT_RING_CAPACITY: usize = 256;
+
+/// One finished span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (e.g. `fetch.read`).
+    pub name: String,
+    /// Name of the span active on this thread when this one started.
+    pub parent: Option<String>,
+    /// Start time in nanoseconds since the owning `Obs` was created.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Free-form key=value attributes.
+    pub attrs: Vec<(String, String)>,
+}
+
+/// Aggregate timing of all finished spans sharing one name.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SpanSummary {
+    /// Number of finished spans.
+    pub count: u64,
+    /// Total nanoseconds across all of them.
+    pub total_ns: u64,
+    /// Mean nanoseconds.
+    pub mean_ns: f64,
+    /// Median nanoseconds.
+    pub p50_ns: u64,
+    /// 90th percentile nanoseconds.
+    pub p90_ns: u64,
+    /// 99th percentile nanoseconds.
+    pub p99_ns: u64,
+    /// Slowest span.
+    pub max_ns: u64,
+}
+
+impl From<HistSummary> for SpanSummary {
+    fn from(h: HistSummary) -> SpanSummary {
+        SpanSummary {
+            count: h.count,
+            total_ns: h.sum,
+            mean_ns: h.mean,
+            p50_ns: h.p50,
+            p90_ns: h.p90,
+            p99_ns: h.p99,
+            max_ns: h.max,
+        }
+    }
+}
+
+pub(crate) struct Tracer {
+    epoch: Instant,
+    recent: Mutex<VecDeque<SpanRecord>>,
+    aggs: RwLock<HashMap<String, Arc<HistCore>>>,
+    capacity: usize,
+}
+
+impl Tracer {
+    pub(crate) fn new(epoch: Instant, capacity: usize) -> Tracer {
+        Tracer {
+            epoch,
+            recent: Mutex::new(VecDeque::with_capacity(capacity)),
+            aggs: RwLock::new(HashMap::new()),
+            capacity,
+        }
+    }
+
+    pub(crate) fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    fn agg(&self, name: &str) -> Histogram {
+        if let Some(core) = self.aggs.read().unwrap().get(name) {
+            return Histogram(Arc::clone(core));
+        }
+        let mut w = self.aggs.write().unwrap();
+        let core = w
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(HistCore::new()));
+        Histogram(Arc::clone(core))
+    }
+
+    pub(crate) fn record(&self, rec: SpanRecord) {
+        self.agg(&rec.name).record(rec.dur_ns);
+        let mut ring = self.recent.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(rec);
+    }
+
+    /// Per-name aggregate summaries.
+    pub(crate) fn summaries(&self) -> Vec<(String, SpanSummary)> {
+        self.aggs
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(name, core)| {
+                (
+                    name.clone(),
+                    SpanSummary::from(Histogram(Arc::clone(core)).summary()),
+                )
+            })
+            .collect()
+    }
+
+    /// Snapshot of the ring buffer, oldest first.
+    pub(crate) fn recent(&self) -> Vec<SpanRecord> {
+        self.recent.lock().unwrap().iter().cloned().collect()
+    }
+}
+
+thread_local! {
+    /// Stack of `(tracer identity, span name)` for the spans currently open
+    /// on this thread; the tracer identity keeps concurrent `Obs` instances
+    /// from claiming each other's spans as parents.
+    static ACTIVE: std::cell::RefCell<Vec<(usize, String)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// An in-flight timed span. Dropping it records it; [`Span::finish`] records
+/// it and hands back the measured duration.
+pub struct Span {
+    tracer: Arc<Tracer>,
+    name: String,
+    attrs: Vec<(String, String)>,
+    parent: Option<String>,
+    start: Instant,
+    start_ns: u64,
+    finished: bool,
+}
+
+impl Span {
+    pub(crate) fn begin(tracer: Arc<Tracer>, name: &str) -> Span {
+        let start = Instant::now();
+        let start_ns =
+            u64::try_from(start.duration_since(tracer.epoch()).as_nanos()).unwrap_or(u64::MAX);
+        let id = Arc::as_ptr(&tracer) as usize;
+        let parent = ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack
+                .iter()
+                .rev()
+                .find(|(tid, _)| *tid == id)
+                .map(|(_, n)| n.clone());
+            stack.push((id, name.to_string()));
+            parent
+        });
+        Span {
+            tracer,
+            name: name.to_string(),
+            attrs: Vec::new(),
+            parent,
+            start,
+            start_ns,
+            finished: false,
+        }
+    }
+
+    /// Attach a key=value attribute (e.g. the intermediate being fetched).
+    pub fn attr(&mut self, key: &str, value: impl std::fmt::Display) -> &mut Self {
+        self.attrs.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Time elapsed since the span started (the span keeps running).
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Finish the span and return its duration.
+    pub fn finish(mut self) -> Duration {
+        self.end()
+    }
+
+    fn end(&mut self) -> Duration {
+        let dur = self.start.elapsed();
+        if self.finished {
+            return dur;
+        }
+        self.finished = true;
+        let id = Arc::as_ptr(&self.tracer) as usize;
+        ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|(tid, n)| *tid == id && *n == self.name)
+            {
+                stack.remove(pos);
+            }
+        });
+        self.tracer.record(SpanRecord {
+            name: std::mem::take(&mut self.name),
+            parent: self.parent.take(),
+            start_ns: self.start_ns,
+            dur_ns: u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX),
+            attrs: std::mem::take(&mut self.attrs),
+        });
+        dur
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.end();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    #[test]
+    fn finish_returns_duration_and_records() {
+        let obs = Obs::new();
+        let mut sp = obs.span("work");
+        sp.attr("k", "v");
+        std::thread::sleep(Duration::from_millis(2));
+        let d = sp.finish();
+        assert!(d >= Duration::from_millis(2));
+        let recent = obs.recent_spans();
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent[0].name, "work");
+        assert_eq!(recent[0].attrs, vec![("k".to_string(), "v".to_string())]);
+        assert!(recent[0].dur_ns >= 2_000_000);
+        let aggs = obs.span_summaries();
+        let s = aggs.iter().find(|(n, _)| n == "work").unwrap();
+        assert_eq!(s.1.count, 1);
+    }
+
+    #[test]
+    fn drop_records_too() {
+        let obs = Obs::new();
+        {
+            let _sp = obs.span("dropped");
+        }
+        assert_eq!(obs.recent_spans().len(), 1);
+    }
+
+    #[test]
+    fn nesting_sets_parent() {
+        let obs = Obs::new();
+        {
+            let _outer = obs.span("outer");
+            {
+                let _inner = obs.span("inner");
+            }
+        }
+        let recent = obs.recent_spans();
+        assert_eq!(recent.len(), 2);
+        // Inner finished first.
+        assert_eq!(recent[0].name, "inner");
+        assert_eq!(recent[0].parent.as_deref(), Some("outer"));
+        assert_eq!(recent[1].name, "outer");
+        assert_eq!(recent[1].parent, None);
+    }
+
+    #[test]
+    fn two_obs_instances_do_not_share_parents() {
+        let a = Obs::new();
+        let b = Obs::new();
+        let _outer = a.span("a.outer");
+        {
+            let _inner = b.span("b.inner");
+        }
+        let recent = b.recent_spans();
+        assert_eq!(recent[0].parent, None, "parent from another Obs leaked");
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded() {
+        let obs = Obs::new();
+        for i in 0..(DEFAULT_RING_CAPACITY + 10) {
+            let mut sp = obs.span("s");
+            sp.attr("i", i);
+            drop(sp);
+        }
+        let recent = obs.recent_spans();
+        assert_eq!(recent.len(), DEFAULT_RING_CAPACITY);
+        // Oldest entries were evicted: first kept span is i=10.
+        assert_eq!(recent[0].attrs[0].1, "10");
+        let aggs = obs.span_summaries();
+        let s = aggs.iter().find(|(n, _)| n == "s").unwrap();
+        assert_eq!(
+            s.1.count,
+            (DEFAULT_RING_CAPACITY + 10) as u64,
+            "aggregates keep counting past the ring"
+        );
+    }
+
+    #[test]
+    fn span_macro_attaches_attrs() {
+        let obs = Obs::new();
+        let interm = "m1.stage3";
+        let sp = crate::span!(obs, "fetch", interm = interm, n = 42);
+        drop(sp);
+        let recent = obs.recent_spans();
+        assert_eq!(
+            recent[0].attrs,
+            vec![
+                ("interm".to_string(), "m1.stage3".to_string()),
+                ("n".to_string(), "42".to_string()),
+            ]
+        );
+    }
+}

@@ -3,9 +3,11 @@
 
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
+use std::time::Instant;
 
 use mistique_dataframe::ColumnChunk;
 use mistique_dedup::{content_digest, discretize, ContentDigest, LshIndex, MinHasher};
+use mistique_obs::{Counter, Gauge, Histogram, Obs};
 
 use crate::disk::DiskStore;
 use crate::mem::InMemoryStore;
@@ -109,9 +111,53 @@ pub enum PutOutcome {
     Stored(PartitionId),
 }
 
+/// Cached metric handles for the chunk hot paths, resolved once per `Obs`
+/// so puts and gets never touch the registry lock.
+struct StoreMetrics {
+    put_count: Counter,
+    put_bytes: Counter,
+    put_ns: Histogram,
+    get_count: Counter,
+    get_bytes: Counter,
+    get_ns: Histogram,
+    dedup_exact_hits: Counter,
+    similarity_placements: Counter,
+    partitions_created: Counter,
+    partitions_sealed: Counter,
+    get_mem_hits: Counter,
+    get_cache_hits: Counter,
+    get_disk_reads: Counter,
+    pool_used_bytes: Gauge,
+    pool_evictions: Counter,
+}
+
+impl StoreMetrics {
+    fn new(obs: &Obs) -> StoreMetrics {
+        StoreMetrics {
+            put_count: obs.counter("store.put.count"),
+            put_bytes: obs.counter("store.put.bytes"),
+            put_ns: obs.histogram("store.put.ns"),
+            get_count: obs.counter("store.get.count"),
+            get_bytes: obs.counter("store.get.bytes"),
+            get_ns: obs.histogram("store.get.ns"),
+            dedup_exact_hits: obs.counter("store.dedup.exact_hits"),
+            similarity_placements: obs.counter("store.dedup.similarity_placements"),
+            partitions_created: obs.counter("store.partitions.created"),
+            partitions_sealed: obs.counter("store.partitions.sealed"),
+            get_mem_hits: obs.counter("store.get.mem_hits"),
+            get_cache_hits: obs.counter("store.get.cache_hits"),
+            get_disk_reads: obs.counter("store.get.disk_reads"),
+            pool_used_bytes: obs.gauge("store.pool.used_bytes"),
+            pool_evictions: obs.counter("store.pool.evictions"),
+        }
+    }
+}
+
 /// The DataStore: exact dedup, similarity placement, buffer pool, disk.
 pub struct DataStore {
     config: DataStoreConfig,
+    obs: Obs,
+    metrics: StoreMetrics,
     mem: InMemoryStore,
     disk: DiskStore,
     key_map: HashMap<ChunkKey, ContentDigest>,
@@ -137,7 +183,10 @@ impl DataStore {
             "minhash_hashes must be divisible by lsh_bands"
         );
         let rows = config.minhash_hashes / config.lsh_bands;
+        let obs = Obs::new();
         Ok(DataStore {
+            metrics: StoreMetrics::new(&obs),
+            obs,
             mem: InMemoryStore::new(config.mem_capacity),
             disk: DiskStore::open(dir)?,
             key_map: HashMap::new(),
@@ -153,6 +202,18 @@ impl DataStore {
             stats: StoreStats::default(),
             config,
         })
+    }
+
+    /// Replace the store's observability handle (e.g. with one shared by the
+    /// whole system) and re-resolve the cached metric handles against it.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
+        self.metrics = StoreMetrics::new(obs);
+    }
+
+    /// The store's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Store one chunk under its logical key using the configured placement
@@ -177,6 +238,23 @@ impl DataStore {
         policy: PlacementPolicy,
         dedup: bool,
     ) -> Result<PutOutcome, StoreError> {
+        let t0 = Instant::now();
+        let out = self.put_chunk_inner(key, chunk, policy, dedup);
+        self.metrics.put_count.inc();
+        self.metrics.put_ns.record_duration(t0.elapsed());
+        self.metrics
+            .pool_used_bytes
+            .set_u64(self.mem.used_bytes() as u64);
+        out
+    }
+
+    fn put_chunk_inner(
+        &mut self,
+        key: ChunkKey,
+        chunk: &ColumnChunk,
+        policy: PlacementPolicy,
+        dedup: bool,
+    ) -> Result<PutOutcome, StoreError> {
         let bytes = chunk.to_bytes();
         let digest = if dedup {
             content_digest(&bytes)
@@ -189,10 +267,12 @@ impl DataStore {
             content_digest(&keyed)
         };
         self.stats.logical_bytes += bytes.len() as u64;
+        self.metrics.put_bytes.add(bytes.len() as u64);
 
         if let Some(&pid) = self.digest_loc.get(&digest) {
             self.key_map.insert(key, digest);
             self.stats.dedup_hits += 1;
+            self.metrics.dedup_exact_hits.inc();
             let _ = pid;
             return Ok(PutOutcome::Deduplicated);
         }
@@ -205,6 +285,7 @@ impl DataStore {
         }
         // Account growth and persist any evicted partitions.
         let evicted = self.mem.grow(pid, len);
+        self.metrics.pool_evictions.add(evicted.len() as u64);
         for p in evicted {
             self.seal_partition(p)?;
         }
@@ -259,6 +340,7 @@ impl DataStore {
                 let pid = match target {
                     Some(pid) => {
                         self.stats.similarity_placements += 1;
+                        self.metrics.similarity_placements.inc();
                         pid
                     }
                     None => self.new_partition(),
@@ -276,6 +358,7 @@ impl DataStore {
         let pid = self.next_partition;
         self.next_partition += 1;
         self.stats.partitions_created += 1;
+        self.metrics.partitions_created.inc();
         // Evictions from inserting an empty partition are impossible unless
         // the pool is already over budget; handle them anyway.
         let evicted = self.mem.insert(Partition::new(pid));
@@ -288,6 +371,19 @@ impl DataStore {
 
     fn seal_partition(&mut self, partition: Partition) -> Result<(), StoreError> {
         let sealed = partition.seal();
+        self.metrics.partitions_sealed.inc();
+        // Per-codec compression accounting: the first byte of the sealed
+        // partition is the compression frame's scheme byte.
+        let codec = mistique_compress::scheme_of(&sealed)
+            .map(|s| s.name())
+            .unwrap_or("unknown");
+        self.obs.counter(&format!("compress.{codec}.count")).inc();
+        self.obs
+            .counter(&format!("compress.{codec}.in_bytes"))
+            .add(partition.raw_bytes() as u64);
+        self.obs
+            .counter(&format!("compress.{codec}.out_bytes"))
+            .add(sealed.len() as u64);
         self.disk.write(partition.id(), &sealed)?;
         self.sealed.insert(partition.id());
         Ok(())
@@ -308,6 +404,14 @@ impl DataStore {
 
     /// Read a chunk back by key.
     pub fn get_chunk(&mut self, key: &ChunkKey) -> Result<ColumnChunk, StoreError> {
+        let t0 = Instant::now();
+        let out = self.get_chunk_inner(key);
+        self.metrics.get_count.inc();
+        self.metrics.get_ns.record_duration(t0.elapsed());
+        out
+    }
+
+    fn get_chunk_inner(&mut self, key: &ChunkKey) -> Result<ColumnChunk, StoreError> {
         let digest = *self.key_map.get(key).ok_or(StoreError::NotFound)?;
         let pid = *self.digest_loc.get(&digest).ok_or(StoreError::NotFound)?;
 
@@ -316,6 +420,8 @@ impl DataStore {
             let bytes = part
                 .get(digest)
                 .ok_or(StoreError::CorruptPartition("missing chunk"))?;
+            self.metrics.get_mem_hits.inc();
+            self.metrics.get_bytes.add(bytes.len() as u64);
             return Ok(ColumnChunk::from_bytes(bytes)?);
         }
         // 2. Read cache.
@@ -323,15 +429,19 @@ impl DataStore {
             let bytes = part
                 .get(digest)
                 .ok_or(StoreError::CorruptPartition("missing chunk"))?;
+            self.metrics.get_cache_hits.inc();
+            self.metrics.get_bytes.add(bytes.len() as u64);
             return Ok(ColumnChunk::from_bytes(bytes)?);
         }
         // 3. Disk.
+        self.metrics.get_disk_reads.inc();
         let sealed = self.disk.read(pid)?;
         let part = Partition::unseal(pid, &sealed)?;
         let chunk = {
             let bytes = part
                 .get(digest)
                 .ok_or(StoreError::CorruptPartition("missing chunk"))?;
+            self.metrics.get_bytes.add(bytes.len() as u64);
             ColumnChunk::from_bytes(bytes)?
         };
         if self.config.read_cache {

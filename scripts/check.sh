@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo-wide quality gate: formatting, lints, build, and the full test suite.
+# Run from anywhere; everything executes at the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "all checks passed"

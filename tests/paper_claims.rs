@@ -102,7 +102,10 @@ fn claim_dnn_scheme_ordering_and_finetune_dedup() {
         },
         StorageStrategy::StoreAll,
     );
-    assert!(full > lp && lp > pool2 && pool2 > pool32, "{full} > {lp} > {pool2} > {pool32}");
+    assert!(
+        full > lp && lp > pool2 && pool2 > pool32,
+        "{full} > {lp} > {pool2} > {pool32}"
+    );
 
     let with_dedup = dnn_storage(32, CaptureScheme::pool2(), StorageStrategy::Dedup);
     assert!(
@@ -125,7 +128,11 @@ fn claim_read_beats_rerun_for_deep_intermediates() {
     let preds = sys.intermediates_of(&id).last().unwrap().clone();
 
     let auto = sys.get_intermediate(&preds, Some(&["pred"]), None).unwrap();
-    assert_eq!(auto.strategy, FetchStrategy::Read, "cost model must pick read");
+    assert_eq!(
+        auto.strategy,
+        FetchStrategy::Read,
+        "cost model must pick read"
+    );
 
     let read = sys
         .fetch_with_strategy(&preds, Some(&["pred"]), None, FetchStrategy::Read)
@@ -171,9 +178,14 @@ fn claim_quantization_fidelity_ordering() {
 
     let n_layers = sys.intermediates_of(&id).len();
     let logits = frame_to_matrix(
-        &sys.fetch_with_strategy(&format!("{id}.layer{n_layers}"), None, None, FetchStrategy::Read)
-            .unwrap()
-            .frame,
+        &sys.fetch_with_strategy(
+            &format!("{id}.layer{n_layers}"),
+            None,
+            None,
+            FetchStrategy::Read,
+        )
+        .unwrap()
+        .frame,
     );
     let mid = frame_to_matrix(
         &sys.fetch_with_strategy(&format!("{id}.layer7"), None, None, FetchStrategy::Read)
@@ -194,7 +206,10 @@ fn claim_quantization_fidelity_ordering() {
             .collect(),
     );
     let r8 = svcca(&logits, &mid8, 0.99).mean_correlation();
-    assert!((base - r8).abs() < 0.1, "8BIT must track full precision: {base} vs {r8}");
+    assert!(
+        (base - r8).abs() < 0.1,
+        "8BIT must track full precision: {base} vs {r8}"
+    );
 
     let thr = ThresholdQuantizer::fit(&sample, 0.995);
     let midt = mistique_linalg::Matrix::from_vec(
@@ -254,7 +269,12 @@ fn claim_adaptive_materialization_behaviour() {
     let later = sys.get_intermediate(&preds, Some(&["pred"]), None).unwrap();
     assert_eq!(first.strategy, FetchStrategy::Rerun);
     assert_ne!(later.strategy, FetchStrategy::Rerun);
-    assert!(first.fetch_time > later.fetch_time * 10, "{:?} vs {:?}", first.fetch_time, later.fetch_time);
+    assert!(
+        first.fetch_time > later.fetch_time * 10,
+        "{:?} vs {:?}",
+        first.fetch_time,
+        later.fetch_time
+    );
 
     sys.flush().unwrap();
     assert!(sys.store().disk_bytes().unwrap() < dedup_bytes);

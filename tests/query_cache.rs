@@ -71,6 +71,39 @@ fn cache_disabled_by_default() {
 }
 
 #[test]
+fn obs_counters_track_cache_activity() {
+    let (_d, mut sys, id) = cached_system(16 << 20);
+    let preds = sys.intermediates_of(&id).last().unwrap().clone();
+    sys.get_intermediate(&preds, Some(&["pred"]), None).unwrap(); // miss
+    sys.get_intermediate(&preds, Some(&["pred"]), None).unwrap(); // hit
+    let snap = sys.obs_snapshot();
+    assert_eq!(snap.counter("qcache.hits"), 1);
+    assert!(snap.counter("qcache.misses") >= 1);
+    assert_eq!(snap.counter("decision.cached.count"), 1);
+    assert!(snap.gauge("qcache.used_bytes") > 0.0);
+    // The obs view agrees with the cache's own accounting.
+    assert_eq!(snap.counter("qcache.hits"), sys.query_cache().hits());
+    assert_eq!(snap.counter("qcache.misses"), sys.query_cache().misses());
+}
+
+#[test]
+fn obs_counts_evictions_under_pressure() {
+    // A budget big enough for roughly one full-frame entry: inserting a
+    // second distinct entry must evict the first, and the obs counter
+    // tracks the cache's own eviction count.
+    let (_d, mut sys, id) = cached_system(96 << 10);
+    let interms = sys.intermediates_of(&id);
+    for interm in interms.iter().take(4) {
+        let _ = sys.get_intermediate(interm, None, None);
+    }
+    let snap = sys.obs_snapshot();
+    assert_eq!(
+        snap.counter("qcache.evictions"),
+        sys.query_cache().evictions()
+    );
+}
+
+#[test]
 fn forcing_cached_strategy_is_invalid() {
     let (_d, mut sys, id) = cached_system(1 << 20);
     let preds = sys.intermediates_of(&id).last().unwrap().clone();
