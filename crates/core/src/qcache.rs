@@ -11,6 +11,7 @@ use std::collections::HashMap;
 
 use mistique_dataframe::DataFrame;
 use mistique_obs::{Counter, Gauge, Obs};
+use mistique_store::LruList;
 
 /// Cache key: the exact fetch request.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -62,8 +63,8 @@ pub struct QueryCache {
     capacity_bytes: usize,
     used_bytes: usize,
     entries: HashMap<CacheKey, DataFrame>,
-    /// LRU order, front = least recently used.
-    lru: Vec<CacheKey>,
+    /// O(1) LRU order, front = least recently used.
+    lru: LruList<CacheKey>,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -127,10 +128,7 @@ impl QueryCache {
                 if let Some(o) = &self.obs {
                     o.hits.inc();
                 }
-                if let Some(pos) = self.lru.iter().position(|k| k == key) {
-                    let k = self.lru.remove(pos);
-                    self.lru.push(k);
-                }
+                self.lru.touch(key.clone());
                 Some(frame.clone())
             }
             None => {
@@ -153,10 +151,13 @@ impl QueryCache {
         }
         if let Some(old) = self.entries.remove(&key) {
             self.used_bytes -= old.nbytes();
-            self.lru.retain(|k| k != &key);
+            self.lru.remove(&key);
         }
         while self.used_bytes + bytes > self.capacity_bytes {
-            let victim = self.lru.remove(0);
+            let victim = match self.lru.pop_lru() {
+                Some(v) => v,
+                None => break,
+            };
             if let Some(old) = self.entries.remove(&victim) {
                 self.used_bytes -= old.nbytes();
             }
@@ -167,7 +168,7 @@ impl QueryCache {
         }
         self.used_bytes += bytes;
         self.entries.insert(key.clone(), frame.clone());
-        self.lru.push(key);
+        self.lru.touch(key);
         self.sync_used_bytes();
     }
 
@@ -183,7 +184,7 @@ impl QueryCache {
             if let Some(old) = self.entries.remove(&key) {
                 self.used_bytes -= old.nbytes();
             }
-            self.lru.retain(|k| k != &key);
+            self.lru.remove(&key);
         }
         self.sync_used_bytes();
     }

@@ -49,7 +49,7 @@ impl Mistique {
         columns: Option<&[&str]>,
         n_ex: Option<usize>,
     ) -> Result<FetchResult, MistiqueError> {
-        let (can_read, should_read) = {
+        let (can_read, should_read, n_effective) = {
             let meta = self
                 .meta
                 .intermediate(intermediate_id)
@@ -59,10 +59,13 @@ impl Mistique {
                 .model(&meta.model_id)
                 .ok_or_else(|| MistiqueError::UnknownModel(meta.model_id.clone()))?;
             let n = n_ex.unwrap_or(meta.n_rows).min(meta.n_rows);
-            (meta.materialized, self.cost.should_read(model, meta, n))
+            (meta.materialized, self.cost.should_read(model, meta, n), n)
         };
         // Session query cache: serve repeated identical fetches directly.
-        let cache_key = crate::qcache::CacheKey::new(intermediate_id, columns, n_ex);
+        // The key carries the clamped row count (the same one the cost model
+        // and fetch use), so `None`, `Some(n_rows)`, and oversized requests —
+        // which all return the identical frame — share a single entry.
+        let cache_key = crate::qcache::CacheKey::new(intermediate_id, columns, Some(n_effective));
         if let Some(frame) = self.qcache.get(&cache_key) {
             self.obs.counter("decision.cached.count").inc();
             self.meta.bump_queries(intermediate_id);
@@ -246,19 +249,12 @@ impl Mistique {
 
         let mut sp = self.obs.span("fetch.rows");
         sp.attr("interm", intermediate_id).attr("rows", rows.len());
+        // Fetch + decode only the touched blocks (possibly in parallel).
+        let per_col = self.read_column_blocks(&meta, &wanted, &blocks)?;
         let mut out_cols = Vec::with_capacity(wanted.len());
-        for name in &wanted {
-            // Decode only the touched blocks.
-            let mut decoded: std::collections::HashMap<usize, Vec<f64>> =
-                std::collections::HashMap::with_capacity(blocks.len());
-            for &b in &blocks {
-                let key = ChunkKey::new(meta.id.clone(), name.clone(), b as u32);
-                let chunk = self.store.get_chunk(&key)?;
-                decoded.insert(
-                    b,
-                    decode_column(&chunk.data, meta.scheme.value, meta.quantizer.as_deref()),
-                );
-            }
+        for (name, block_vals) in wanted.iter().zip(per_col) {
+            let decoded: std::collections::HashMap<usize, Vec<f64>> =
+                blocks.iter().copied().zip(block_vals).collect();
             let values: Vec<f64> = rows.iter().map(|&r| decoded[&(r / rbs)][r % rbs]).collect();
             out_cols.push(Column::f64(name.clone(), values));
         }
@@ -287,20 +283,94 @@ impl Mistique {
             Some(cols) => cols.iter().map(|s| s.to_string()).collect(),
             None => meta.columns.clone(),
         };
+        let blocks: Vec<usize> = (0..n_blocks).collect();
+        let per_col = self.read_column_blocks(meta, &wanted, &blocks)?;
         let mut out_cols = Vec::with_capacity(wanted.len());
-        for name in &wanted {
+        for (name, block_vals) in wanted.iter().zip(per_col) {
             let mut values: Vec<f64> = Vec::with_capacity(n);
-            for b in 0..n_blocks {
-                let key = ChunkKey::new(meta.id.clone(), name.clone(), b as u32);
-                let chunk = self.store.get_chunk(&key)?;
-                let decoded =
-                    decode_column(&chunk.data, meta.scheme.value, meta.quantizer.as_deref());
+            for decoded in block_vals {
                 values.extend(decoded);
             }
             values.truncate(n);
             out_cols.push(Column::f64(name.clone(), values));
         }
         Ok(DataFrame::from_columns(out_cols))
+    }
+
+    /// Fetch and decode the given RowBlocks of each wanted column. Returns,
+    /// per column, the decoded values of each requested block (in the order
+    /// of `blocks`).
+    ///
+    /// All chunk bytes are pulled through the store's batched read path, so
+    /// cold partitions come off disk concurrently; the per-column decode
+    /// (deserialize + dequantize) then fans out over the same worker budget.
+    /// Work is assigned by round-robin striding and reassembled by index, so
+    /// the output is identical at every `read_parallelism` setting.
+    fn read_column_blocks(
+        &mut self,
+        meta: &crate::metadata::IntermediateMeta,
+        wanted: &[String],
+        blocks: &[usize],
+    ) -> Result<Vec<Vec<Vec<f64>>>, MistiqueError> {
+        let keys: Vec<ChunkKey> = wanted
+            .iter()
+            .flat_map(|name| {
+                blocks
+                    .iter()
+                    .map(|&b| ChunkKey::new(meta.id.clone(), name.clone(), b as u32))
+            })
+            .collect();
+        let workers = self.effective_read_parallelism();
+        let raw = self.store.get_chunk_bytes_batch(&keys, workers)?;
+
+        let n_cols = wanted.len();
+        let per_col = blocks.len();
+        let value = meta.scheme.value;
+        let quantizer = meta.quantizer.as_deref();
+        let decode_col = |ci: usize| -> Result<Vec<Vec<f64>>, MistiqueError> {
+            raw[ci * per_col..(ci + 1) * per_col]
+                .iter()
+                .map(|bytes| {
+                    let chunk = mistique_dataframe::ColumnChunk::from_bytes(bytes)
+                        .map_err(mistique_store::StoreError::from)?;
+                    Ok(decode_column(&chunk.data, value, quantizer))
+                })
+                .collect()
+        };
+
+        let decode_workers = workers.max(1).min(n_cols);
+        if decode_workers <= 1 {
+            return (0..n_cols).map(decode_col).collect();
+        }
+        type DecodedCol = Result<Vec<Vec<f64>>, MistiqueError>;
+        let decode_col = &decode_col;
+        let mut out: Vec<Option<DecodedCol>> = (0..n_cols).map(|_| None).collect();
+        let results: Vec<Vec<(usize, DecodedCol)>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..decode_workers)
+                .map(|w| {
+                    scope.spawn(move |_| {
+                        let mut part = Vec::new();
+                        let mut ci = w;
+                        while ci < n_cols {
+                            part.push((ci, decode_col(ci)));
+                            ci += decode_workers;
+                        }
+                        part
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("column decode thread"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+        for (ci, res) in results.into_iter().flatten() {
+            out[ci] = Some(res);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every column decoded"))
+            .collect()
     }
 
     /// Re-run path: recreate the intermediate, align its layout with the

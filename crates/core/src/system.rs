@@ -52,6 +52,12 @@ pub struct MistiqueConfig {
     /// Byte budget of the session query cache (0 = disabled, the default —
     /// a Sec 10 future-work extension; see [`crate::qcache`]).
     pub query_cache_bytes: usize,
+    /// Worker threads for the stored-chunk read path (`read_stored` /
+    /// `get_rows`): partitions are fetched from disk and columns decoded
+    /// concurrently. `1` (the default) keeps the read path fully serial;
+    /// `0` means one worker per available CPU. The assembled frames are
+    /// byte-identical at every setting — only wall-clock changes.
+    pub read_parallelism: usize,
 }
 
 impl Default for MistiqueConfig {
@@ -62,6 +68,7 @@ impl Default for MistiqueConfig {
             dnn_capture: CaptureScheme::pool2(),
             datastore: DataStoreConfig::default(),
             query_cache_bytes: 0,
+            read_parallelism: 1,
         }
     }
 }
@@ -77,6 +84,8 @@ pub struct Mistique {
     pub(crate) sources: HashMap<String, ModelSource>,
     /// Wall-clock spent writing/logging, per model (Fig 11's overhead).
     pub(crate) log_time: HashMap<String, Duration>,
+    /// The storage half of `log_time`: chunking + DataStore writes.
+    pub(crate) store_time: HashMap<String, Duration>,
     /// Session query cache.
     pub(crate) qcache: crate::qcache::QueryCache,
     /// Shared observability handle (metrics registry + span tracer).
@@ -109,6 +118,7 @@ impl Mistique {
             cost: CostModel::default(),
             sources: HashMap::new(),
             log_time: HashMap::new(),
+            store_time: HashMap::new(),
             qcache,
             obs,
         })
@@ -205,6 +215,25 @@ impl Mistique {
             .get(model_id)
             .copied()
             .unwrap_or(Duration::ZERO)
+    }
+
+    /// The storage half of [`Mistique::logging_overhead`]: wall-clock spent
+    /// chunking and writing intermediates into the DataStore, excluding
+    /// model/pipeline execution. Always `<= logging_overhead` for a logged
+    /// model — the parallel and sequential logging paths both fold it into
+    /// the total.
+    pub fn storage_overhead(&self, model_id: &str) -> Duration {
+        self.store_time
+            .get(model_id)
+            .copied()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Adjust the read-path worker count at runtime (`0` = one per CPU; see
+    /// [`MistiqueConfig::read_parallelism`]). Benchmarks flip this between
+    /// serial and parallel reads over the same stored data.
+    pub fn set_read_parallelism(&mut self, n: usize) {
+        self.config.read_parallelism = n;
     }
 
     /// Access the session query cache (hit/miss counters).
@@ -322,13 +351,28 @@ impl Mistique {
                 .unwrap_or(usize::MAX)
         });
         for (id, records, elapsed) in results {
+            // Logging overhead covers chunking + storage, not just pipeline
+            // execution — keep parity with the sequential `log_intermediates`
+            // path, whose span wraps both.
+            let t_store = Instant::now();
             self.log_trad_records(&id, records)?;
-            self.log_time.insert(id, elapsed);
+            self.log_time.insert(id, elapsed + t_store.elapsed());
         }
         for id in dnn {
             self.log_intermediates(&id)?;
         }
         Ok(())
+    }
+
+    /// Resolve `config.read_parallelism` to a concrete worker count
+    /// (`0` = one per available CPU).
+    pub(crate) fn effective_read_parallelism(&self) -> usize {
+        match self.config.read_parallelism {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
     }
 
     fn should_materialize_at_log_time(&self) -> bool {
@@ -353,9 +397,11 @@ impl Mistique {
         let dedup = !matches!(self.config.storage, StorageStrategy::StoreAll);
         let mut bytes = 0u64;
         for (block, column, chunk) in frame.chunks(self.config.row_block_size) {
-            bytes += chunk.to_bytes().len() as u64;
             let key = ChunkKey::new(intermediate_id, column, block as u32);
-            self.store.put_chunk_with(key, &chunk, policy, dedup)?;
+            // The store serializes the chunk exactly once and reports the
+            // size back, so accounting costs no extra `to_bytes` pass.
+            let (_, serialized) = self.store.put_chunk_sized(key, &chunk, policy, dedup)?;
+            bytes += serialized;
         }
         Ok(bytes)
     }
@@ -385,6 +431,7 @@ impl Mistique {
         model_id: &str,
         records: Vec<mistique_pipeline::RunRecord>,
     ) -> Result<(), MistiqueError> {
+        let t_store = Instant::now();
         let model_id = model_id.to_string();
         let mut cum = Duration::ZERO;
         for rec in records {
@@ -417,6 +464,7 @@ impl Mistique {
                 shape: None,
             });
         }
+        self.store_time.insert(model_id, t_store.elapsed());
         Ok(())
     }
 
@@ -451,6 +499,7 @@ impl Mistique {
 
         let materialize = self.should_materialize_at_log_time();
 
+        let mut store_elapsed = Duration::ZERO;
         let mut block = 0u32;
         let mut start = 0usize;
         while start < n {
@@ -504,18 +553,20 @@ impl Mistique {
 
                 let interm_id = format!("{}.layer{}", model_id, li + 1);
                 if materialize {
+                    let t_store = Instant::now();
                     for col in captured.frame.columns() {
                         let chunk = ColumnChunk::new(col.data.clone());
-                        stored_bytes[li] += chunk.to_bytes().len() as u64;
                         let key = ChunkKey::new(interm_id.clone(), col.name.clone(), block);
                         let dedup = !matches!(self.config.storage, StorageStrategy::StoreAll);
-                        self.store.put_chunk_with(
+                        let (_, serialized) = self.store.put_chunk_sized(
                             key,
                             &chunk,
                             PlacementPolicy::ByIntermediate,
                             dedup,
                         )?;
+                        stored_bytes[li] += serialized;
                     }
+                    store_elapsed += t_store.elapsed();
                 } else {
                     stored_bytes[li] += Self::frame_stored_bytes(&captured.frame, block_rows);
                 }
@@ -546,6 +597,7 @@ impl Mistique {
                 shape: Some(shapes[li]),
             });
         }
+        self.store_time.insert(model_id, store_elapsed);
         Ok(())
     }
 }

@@ -809,14 +809,14 @@ mod tests {
         }
         .execute(&mut c);
         let flags = out.column("is_residential").unwrap().data.to_f64();
-        for i in 0..out.n_rows() {
+        for (i, &flag) in flags.iter().enumerate() {
             let ptype = out.column("prop_type").unwrap().data.cat_value(i).unwrap();
             let expected = if ptype == "commercial" { 0.0 } else { 1.0 };
-            assert_eq!(flags[i], expected, "row {i} type {ptype}");
+            assert_eq!(flag, expected, "row {i} type {ptype}");
         }
         // Both classes occur in the synthetic data.
-        assert!(flags.iter().any(|&f| f == 0.0));
-        assert!(flags.iter().any(|&f| f == 1.0));
+        assert!(flags.contains(&0.0));
+        assert!(flags.contains(&1.0));
     }
 
     #[test]

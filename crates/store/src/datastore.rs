@@ -10,6 +10,7 @@ use mistique_dedup::{content_digest, discretize, ContentDigest, LshIndex, MinHas
 use mistique_obs::{Counter, Gauge, Histogram, Obs};
 
 use crate::disk::DiskStore;
+use crate::lru::LruCache;
 use crate::mem::InMemoryStore;
 use crate::partition::{Partition, PartitionId};
 use crate::StoreError;
@@ -129,6 +130,10 @@ struct StoreMetrics {
     get_disk_reads: Counter,
     pool_used_bytes: Gauge,
     pool_evictions: Counter,
+    read_cache_hits: Counter,
+    read_cache_misses: Counter,
+    read_cache_evictions: Counter,
+    read_cache_bytes: Gauge,
 }
 
 impl StoreMetrics {
@@ -149,6 +154,10 @@ impl StoreMetrics {
             get_disk_reads: obs.counter("store.get.disk_reads"),
             pool_used_bytes: obs.gauge("store.pool.used_bytes"),
             pool_evictions: obs.counter("store.pool.evictions"),
+            read_cache_hits: obs.counter("store.read_cache.hits"),
+            read_cache_misses: obs.counter("store.read_cache.misses"),
+            read_cache_evictions: obs.counter("store.read_cache.evictions"),
+            read_cache_bytes: obs.gauge("store.read_cache.used_bytes"),
         }
     }
 }
@@ -171,7 +180,9 @@ pub struct DataStore {
     minhasher: MinHasher,
     lsh_item_to_partition: HashMap<u64, PartitionId>,
     next_lsh_item: u64,
-    read_cache: HashMap<PartitionId, Partition>,
+    /// Byte-budgeted LRU over partitions read back from disk; evicts one
+    /// victim at a time (never a clear-all).
+    read_cache: LruCache<PartitionId, Partition>,
     stats: StoreStats,
 }
 
@@ -198,7 +209,7 @@ impl DataStore {
             minhasher: MinHasher::new(config.minhash_hashes),
             lsh_item_to_partition: HashMap::new(),
             next_lsh_item: 0,
-            read_cache: HashMap::new(),
+            read_cache: LruCache::new(config.mem_capacity),
             stats: StoreStats::default(),
             config,
         })
@@ -238,6 +249,21 @@ impl DataStore {
         policy: PlacementPolicy,
         dedup: bool,
     ) -> Result<PutOutcome, StoreError> {
+        self.put_chunk_sized(key, chunk, policy, dedup)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// [`DataStore::put_chunk_with`], additionally returning the serialized
+    /// chunk size in bytes. The chunk is serialized exactly once; callers
+    /// that need byte accounting (e.g. `stored_bytes` metadata) should use
+    /// this instead of serializing the chunk again themselves.
+    pub fn put_chunk_sized(
+        &mut self,
+        key: ChunkKey,
+        chunk: &ColumnChunk,
+        policy: PlacementPolicy,
+        dedup: bool,
+    ) -> Result<(PutOutcome, u64), StoreError> {
         let t0 = Instant::now();
         let out = self.put_chunk_inner(key, chunk, policy, dedup);
         self.metrics.put_count.inc();
@@ -254,27 +280,34 @@ impl DataStore {
         chunk: &ColumnChunk,
         policy: PlacementPolicy,
         dedup: bool,
-    ) -> Result<PutOutcome, StoreError> {
+    ) -> Result<(PutOutcome, u64), StoreError> {
         let bytes = chunk.to_bytes();
+        let serialized_len = bytes.len() as u64;
         let digest = if dedup {
             content_digest(&bytes)
         } else {
-            // Mix the key into the digest so identical bytes never collide.
+            // Mix the key into the digest so identical bytes under different
+            // keys never alias in the partition index.
             let mut keyed = bytes.clone();
             keyed.extend_from_slice(key.intermediate.as_bytes());
             keyed.extend_from_slice(key.column.as_bytes());
             keyed.extend_from_slice(&key.block.to_le_bytes());
             content_digest(&keyed)
         };
-        self.stats.logical_bytes += bytes.len() as u64;
-        self.metrics.put_bytes.add(bytes.len() as u64);
+        self.stats.logical_bytes += serialized_len;
+        self.metrics.put_bytes.add(serialized_len);
 
-        if let Some(&pid) = self.digest_loc.get(&digest) {
-            self.key_map.insert(key, digest);
-            self.stats.dedup_hits += 1;
-            self.metrics.dedup_exact_hits.inc();
-            let _ = pid;
-            return Ok(PutOutcome::Deduplicated);
+        // Only the dedup path may short-circuit on a known digest: the
+        // STORE_ALL baseline (`dedup = false`) must store every chunk, even
+        // a re-put of identical bytes under the same key.
+        if dedup {
+            if let Some(&pid) = self.digest_loc.get(&digest) {
+                self.key_map.insert(key, digest);
+                self.stats.dedup_hits += 1;
+                self.metrics.dedup_exact_hits.inc();
+                let _ = pid;
+                return Ok((PutOutcome::Deduplicated, serialized_len));
+            }
         }
 
         let pid = self.choose_partition_with(&key, chunk, policy)?;
@@ -305,7 +338,7 @@ impl DataStore {
                 self.seal_partition(p)?;
             }
         }
-        Ok(PutOutcome::Stored(pid))
+        Ok((PutOutcome::Stored(pid), serialized_len))
     }
 
     fn choose_partition_with(
@@ -424,17 +457,19 @@ impl DataStore {
             self.metrics.get_bytes.add(bytes.len() as u64);
             return Ok(ColumnChunk::from_bytes(bytes)?);
         }
-        // 2. Read cache.
+        // 2. Read cache (LRU touch).
         if let Some(part) = self.read_cache.get(&pid) {
             let bytes = part
                 .get(digest)
                 .ok_or(StoreError::CorruptPartition("missing chunk"))?;
             self.metrics.get_cache_hits.inc();
+            self.metrics.read_cache_hits.inc();
             self.metrics.get_bytes.add(bytes.len() as u64);
             return Ok(ColumnChunk::from_bytes(bytes)?);
         }
         // 3. Disk.
         self.metrics.get_disk_reads.inc();
+        self.metrics.read_cache_misses.inc();
         let sealed = self.disk.read(pid)?;
         let part = Partition::unseal(pid, &sealed)?;
         let chunk = {
@@ -444,20 +479,189 @@ impl DataStore {
             self.metrics.get_bytes.add(bytes.len() as u64);
             ColumnChunk::from_bytes(bytes)?
         };
-        if self.config.read_cache {
-            // Unbounded growth guard: keep the cache below the memory budget.
-            let cache_bytes: usize = self.read_cache.values().map(|p| p.raw_bytes()).sum();
-            if cache_bytes + part.raw_bytes() > self.config.mem_capacity {
-                self.read_cache.clear();
-            }
-            self.read_cache.insert(pid, part);
-        }
+        self.cache_loaded_partition(pid, part);
         Ok(chunk)
     }
 
+    /// Insert a partition just read from disk into the read cache, evicting
+    /// LRU victims one at a time and counting them. Returns the partition
+    /// back when it was not cached (caching disabled, or the partition alone
+    /// exceeds the whole budget).
+    fn cache_loaded_partition(&mut self, pid: PartitionId, part: Partition) -> Option<Partition> {
+        if !self.config.read_cache || part.raw_bytes() > self.read_cache.capacity_bytes() {
+            return Some(part);
+        }
+        let raw = part.raw_bytes();
+        let evicted = self.read_cache.insert(pid, part, raw);
+        self.metrics.read_cache_evictions.add(evicted.len() as u64);
+        self.metrics
+            .read_cache_bytes
+            .set_u64(self.read_cache.used_bytes() as u64);
+        None
+    }
+
+    /// Batch read: the serialized bytes of many chunks at once. Partitions
+    /// that must come off disk are read and unsealed concurrently on up to
+    /// `parallelism` crossbeam scoped threads (decompression dominates cold
+    /// reads); results are returned in request order, byte-identical to a
+    /// sequence of [`DataStore::get_chunk`] calls.
+    pub fn get_chunk_bytes_batch(
+        &mut self,
+        keys: &[ChunkKey],
+        parallelism: usize,
+    ) -> Result<Vec<Vec<u8>>, StoreError> {
+        let t0 = Instant::now();
+        let out = self.get_chunk_bytes_batch_inner(keys, parallelism);
+        self.metrics.get_count.add(keys.len() as u64);
+        self.metrics.get_ns.record_duration(t0.elapsed());
+        out
+    }
+
+    fn get_chunk_bytes_batch_inner(
+        &mut self,
+        keys: &[ChunkKey],
+        parallelism: usize,
+    ) -> Result<Vec<Vec<u8>>, StoreError> {
+        // Resolve every key up front so a missing one fails before any I/O.
+        let mut locs = Vec::with_capacity(keys.len());
+        for key in keys {
+            let digest = *self.key_map.get(key).ok_or(StoreError::NotFound)?;
+            let pid = *self.digest_loc.get(&digest).ok_or(StoreError::NotFound)?;
+            locs.push((digest, pid));
+        }
+
+        // Which distinct partitions have to come off disk?
+        let mut seen: HashSet<PartitionId> = HashSet::new();
+        let mut missing: Vec<PartitionId> = Vec::new();
+        for &(_, pid) in &locs {
+            if seen.insert(pid) && !self.mem.contains(pid) && !self.read_cache.contains(&pid) {
+                missing.push(pid);
+            }
+        }
+
+        let loaded = self.load_partitions(&missing, parallelism)?;
+        // Partitions that could not enter the cache still serve this batch.
+        let mut side: HashMap<PartitionId, Partition> = HashMap::new();
+        let mut fresh: HashSet<PartitionId> = HashSet::new();
+        for (pid, part) in loaded {
+            self.metrics.get_disk_reads.inc();
+            self.metrics.read_cache_misses.inc();
+            fresh.insert(pid);
+            if let Some(part) = self.cache_loaded_partition(pid, part) {
+                side.insert(pid, part);
+            }
+        }
+
+        let mut out = Vec::with_capacity(keys.len());
+        for &(digest, pid) in &locs {
+            let bytes: Vec<u8>;
+            if let Some(part) = self.mem.get(pid) {
+                self.metrics.get_mem_hits.inc();
+                bytes = part
+                    .get(digest)
+                    .ok_or(StoreError::CorruptPartition("missing chunk"))?
+                    .to_vec();
+            } else if let Some(part) = side.get(&pid) {
+                bytes = part
+                    .get(digest)
+                    .ok_or(StoreError::CorruptPartition("missing chunk"))?
+                    .to_vec();
+            } else if let Some(part) = self.read_cache.get(&pid) {
+                if !fresh.contains(&pid) {
+                    self.metrics.get_cache_hits.inc();
+                    self.metrics.read_cache_hits.inc();
+                }
+                bytes = part
+                    .get(digest)
+                    .ok_or(StoreError::CorruptPartition("missing chunk"))?
+                    .to_vec();
+            } else {
+                // Loaded this batch, then evicted by a later partition of the
+                // same batch (cache smaller than the batch): re-read it and
+                // keep it aside for the rest of this batch.
+                let sealed = self.disk.read(pid)?;
+                let part = Partition::unseal(pid, &sealed)?;
+                self.metrics.get_disk_reads.inc();
+                bytes = part
+                    .get(digest)
+                    .ok_or(StoreError::CorruptPartition("missing chunk"))?
+                    .to_vec();
+                side.insert(pid, part);
+            }
+            self.metrics.get_bytes.add(bytes.len() as u64);
+            out.push(bytes);
+        }
+        Ok(out)
+    }
+
+    /// Read and unseal the given partitions from disk, concurrently on up to
+    /// `parallelism` scoped threads when more than one is needed.
+    fn load_partitions(
+        &self,
+        pids: &[PartitionId],
+        parallelism: usize,
+    ) -> Result<Vec<(PartitionId, Partition)>, StoreError> {
+        if pids.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = parallelism.max(1).min(pids.len());
+        if workers <= 1 {
+            return pids
+                .iter()
+                .map(|&pid| {
+                    let sealed = self.disk.read(pid)?;
+                    Ok((pid, Partition::unseal(pid, &sealed)?))
+                })
+                .collect();
+        }
+        let disk = &self.disk;
+        let per_worker: Vec<Vec<Result<(PartitionId, Partition), StoreError>>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move |_| {
+                            let mut out = Vec::new();
+                            let mut i = w;
+                            while i < pids.len() {
+                                let pid = pids[i];
+                                out.push(disk.read(pid).and_then(|sealed| {
+                                    Ok((pid, Partition::unseal(pid, &sealed)?))
+                                }));
+                                i += workers;
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("partition load thread"))
+                    .collect()
+            })
+            .expect("crossbeam scope");
+        let mut out = Vec::with_capacity(pids.len());
+        for result in per_worker.into_iter().flatten() {
+            out.push(result?);
+        }
+        Ok(out)
+    }
+
     /// Drop all cached disk partitions (used when benchmarking cold reads).
+    /// This is an explicit benchmark/testing control, not a budget-pressure
+    /// eviction path — those always evict a single LRU victim at a time.
     pub fn clear_read_cache(&mut self) {
         self.read_cache.clear();
+        self.metrics.read_cache_bytes.set_u64(0);
+    }
+
+    /// Read-cache occupancy in bytes.
+    pub fn read_cache_bytes(&self) -> usize {
+        self.read_cache.used_bytes()
+    }
+
+    /// Number of partitions currently held by the read cache.
+    pub fn read_cache_len(&self) -> usize {
+        self.read_cache.len()
     }
 
     /// Storage counters so far.
@@ -690,6 +894,122 @@ mod tests {
         for i in 0..4u32 {
             assert!(ds.get_chunk(&ChunkKey::new("m.i", "c", i)).is_ok());
         }
+    }
+
+    #[test]
+    fn store_all_reput_of_identical_chunk_stores_again() {
+        // STORE_ALL (`dedup = false`) must store every submitted chunk —
+        // even a re-put of identical bytes under the very same key must not
+        // short-circuit into a dedup reference.
+        let (_dir, mut ds) = store(PlacementPolicy::ByIntermediate);
+        let chunk = f64_chunk(vec![7.0; 500]);
+        let key = ChunkKey::new("m.i", "c", 0);
+        let first = ds
+            .put_chunk_with(key.clone(), &chunk, PlacementPolicy::ByIntermediate, false)
+            .unwrap();
+        let second = ds
+            .put_chunk_with(key.clone(), &chunk, PlacementPolicy::ByIntermediate, false)
+            .unwrap();
+        assert!(matches!(first, PutOutcome::Stored(_)));
+        assert!(
+            matches!(second, PutOutcome::Stored(_)),
+            "STORE_ALL re-put must store, got {second:?}"
+        );
+        let s = ds.stats();
+        assert_eq!(s.dedup_hits, 0, "STORE_ALL never dedups");
+        assert_eq!(s.chunks_stored, 2);
+        assert_eq!(s.unique_bytes, s.logical_bytes);
+        assert_eq!(ds.get_chunk(&key).unwrap(), chunk);
+    }
+
+    #[test]
+    fn read_cache_evicts_one_partition_at_a_time() {
+        let dir = tempfile::tempdir().unwrap();
+        // Each partition holds one ~8 KB chunk; the cache budget fits two.
+        let config = DataStoreConfig {
+            policy: PlacementPolicy::ByIntermediate,
+            mem_capacity: 20_000,
+            partition_target_bytes: 64 << 10,
+            ..DataStoreConfig::default()
+        };
+        let mut ds = DataStore::open(dir.path(), config).unwrap();
+        let keys: Vec<ChunkKey> = (0..3)
+            .map(|i| ChunkKey::new(format!("m.i{i}"), "c", 0))
+            .collect();
+        for (i, key) in keys.iter().enumerate() {
+            let vals: Vec<f64> = (0..1000).map(|j| (i * 10_000 + j) as f64).collect();
+            ds.put_chunk(key.clone(), &f64_chunk(vals)).unwrap();
+        }
+        ds.flush().unwrap();
+
+        let hits = ds.obs().counter("store.read_cache.hits");
+        let misses = ds.obs().counter("store.read_cache.misses");
+        let evictions = ds.obs().counter("store.read_cache.evictions");
+
+        // Two partitions fit; the third displaces exactly the LRU victim.
+        ds.get_chunk(&keys[0]).unwrap();
+        ds.get_chunk(&keys[1]).unwrap();
+        assert_eq!((misses.get(), evictions.get()), (2, 0));
+        assert_eq!(ds.read_cache_len(), 2);
+        ds.get_chunk(&keys[2]).unwrap();
+        assert_eq!(misses.get(), 3);
+        assert_eq!(evictions.get(), 1, "single-victim eviction, not clear-all");
+        assert_eq!(ds.read_cache_len(), 2, "cache keeps every survivor");
+        assert!(ds.read_cache_bytes() > 0 && ds.read_cache_bytes() <= 20_000);
+
+        // keys[1] and keys[2] survived; reading them is a pure cache hit.
+        let disk_reads = ds.obs().counter("store.get.disk_reads").get();
+        ds.get_chunk(&keys[1]).unwrap();
+        ds.get_chunk(&keys[2]).unwrap();
+        assert_eq!(hits.get(), 2);
+        assert_eq!(ds.obs().counter("store.get.disk_reads").get(), disk_reads);
+
+        // keys[0] was the victim: a miss, and it evicts one more partition.
+        ds.get_chunk(&keys[0]).unwrap();
+        assert_eq!(misses.get(), 4);
+        assert_eq!(evictions.get(), 2);
+    }
+
+    #[test]
+    fn batch_read_matches_individual_gets() {
+        let (_dir, mut ds) = store(PlacementPolicy::ByIntermediate);
+        let mut chunks = Vec::new();
+        let mut keys = Vec::new();
+        for i in 0..4 {
+            let chunk = f64_chunk((0..800).map(|j| (i * 31 + j) as f64 * 0.5).collect());
+            let key = ChunkKey::new(format!("m.i{i}"), "c", 0);
+            ds.put_chunk(key.clone(), &chunk).unwrap();
+            keys.push(key);
+            chunks.push(chunk);
+        }
+        ds.flush().unwrap();
+        // One more chunk left open in the buffer pool.
+        let mem_chunk = f64_chunk(vec![42.0; 100]);
+        let mem_key = ChunkKey::new("m.open", "c", 0);
+        ds.put_chunk(mem_key.clone(), &mem_chunk).unwrap();
+        keys.push(mem_key);
+        chunks.push(mem_chunk);
+
+        // Mixed order, with a duplicate request.
+        let order = [4usize, 1, 3, 1, 0, 2];
+        let batch_keys: Vec<ChunkKey> = order.iter().map(|&i| keys[i].clone()).collect();
+        for parallelism in [1, 4] {
+            ds.clear_read_cache();
+            let got = ds.get_chunk_bytes_batch(&batch_keys, parallelism).unwrap();
+            assert_eq!(got.len(), order.len());
+            for (bytes, &i) in got.iter().zip(&order) {
+                assert_eq!(
+                    ColumnChunk::from_bytes(bytes).unwrap(),
+                    chunks[i],
+                    "parallelism {parallelism}"
+                );
+            }
+        }
+        // Unknown keys fail the whole batch up front.
+        assert!(matches!(
+            ds.get_chunk_bytes_batch(&[ChunkKey::new("no", "pe", 9)], 4),
+            Err(StoreError::NotFound)
+        ));
     }
 
     #[test]

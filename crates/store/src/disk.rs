@@ -3,16 +3,20 @@
 use std::fs;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::partition::PartitionId;
 use crate::StoreError;
 
 /// Persistent store writing sealed partitions to a directory.
+///
+/// Reads take `&self` (byte accounting is atomic) so concurrent partition
+/// fetches can run from scoped threads without locking the whole store.
 #[derive(Debug)]
 pub struct DiskStore {
     dir: PathBuf,
     bytes_written: u64,
-    bytes_read: u64,
+    bytes_read: AtomicU64,
 }
 
 impl DiskStore {
@@ -23,7 +27,7 @@ impl DiskStore {
         Ok(DiskStore {
             dir,
             bytes_written: 0,
-            bytes_read: 0,
+            bytes_read: AtomicU64::new(0),
         })
     }
 
@@ -39,8 +43,9 @@ impl DiskStore {
         Ok(())
     }
 
-    /// Read a sealed partition's bytes.
-    pub fn read(&mut self, id: PartitionId) -> Result<Vec<u8>, StoreError> {
+    /// Read a sealed partition's bytes. Safe to call from several threads at
+    /// once (partition files are immutable once sealed, modulo overwrite).
+    pub fn read(&self, id: PartitionId) -> Result<Vec<u8>, StoreError> {
         let mut f = fs::File::open(self.path_of(id)).map_err(|e| {
             if e.kind() == std::io::ErrorKind::NotFound {
                 StoreError::NotFound
@@ -50,7 +55,8 @@ impl DiskStore {
         })?;
         let mut buf = Vec::new();
         f.read_to_end(&mut buf)?;
-        self.bytes_read += buf.len() as u64;
+        self.bytes_read
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
         Ok(buf)
     }
 
@@ -76,7 +82,7 @@ impl DiskStore {
 
     /// Cumulative bytes read from disk.
     pub fn bytes_read(&self) -> u64 {
-        self.bytes_read
+        self.bytes_read.load(Ordering::Relaxed)
     }
 }
 
@@ -98,7 +104,7 @@ mod tests {
     #[test]
     fn missing_partition_is_not_found() {
         let dir = tempfile::tempdir().unwrap();
-        let mut store = DiskStore::open(dir.path()).unwrap();
+        let store = DiskStore::open(dir.path()).unwrap();
         assert!(!store.contains(9));
         assert!(matches!(store.read(9), Err(StoreError::NotFound)));
     }

@@ -19,11 +19,13 @@
 
 pub mod datastore;
 pub mod disk;
+pub mod lru;
 pub mod mem;
 pub mod partition;
 
 pub use datastore::{ChunkKey, DataStore, DataStoreConfig, PlacementPolicy, StoreStats};
 pub use disk::DiskStore;
+pub use lru::{LruCache, LruList};
 pub use mem::InMemoryStore;
 pub use partition::{Partition, PartitionId};
 

@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 
+use crate::lru::LruList;
 use crate::partition::{Partition, PartitionId};
 
 /// Buffer pool holding open partitions up to a byte budget; inserting past
@@ -13,8 +14,8 @@ pub struct InMemoryStore {
     capacity_bytes: usize,
     used_bytes: usize,
     partitions: HashMap<PartitionId, Partition>,
-    /// LRU order: front = least recently used.
-    lru: Vec<PartitionId>,
+    /// O(1) recency order: front = least recently used.
+    lru: LruList<PartitionId>,
 }
 
 impl InMemoryStore {
@@ -24,7 +25,7 @@ impl InMemoryStore {
             capacity_bytes,
             used_bytes: 0,
             partitions: HashMap::new(),
-            lru: Vec::new(),
+            lru: LruList::new(),
         }
     }
 
@@ -54,10 +55,7 @@ impl InMemoryStore {
     }
 
     fn touch(&mut self, id: PartitionId) {
-        if let Some(pos) = self.lru.iter().position(|&p| p == id) {
-            self.lru.remove(pos);
-        }
-        self.lru.push(id);
+        self.lru.touch(id);
     }
 
     /// Get a resident partition, marking it most-recently-used.
@@ -99,7 +97,7 @@ impl InMemoryStore {
     pub fn remove(&mut self, id: PartitionId) -> Option<Partition> {
         let p = self.partitions.remove(&id)?;
         self.used_bytes -= p.raw_bytes();
-        self.lru.retain(|&x| x != id);
+        self.lru.remove(&id);
         Some(p)
     }
 
@@ -114,7 +112,7 @@ impl InMemoryStore {
         let mut evicted = Vec::new();
         while self.used_bytes > self.capacity_bytes {
             // Find the least-recently-used partition that is not `keep`.
-            let victim = self.lru.iter().copied().find(|&id| Some(id) != keep);
+            let victim = self.lru.peek_lru_excluding(keep.as_ref()).copied();
             match victim {
                 Some(id) => {
                     if let Some(p) = self.remove(id) {

@@ -90,6 +90,27 @@ fn parallel_logging_records_exec_metadata() {
 }
 
 #[test]
+fn logging_overhead_includes_storage_time() {
+    // The overhead metric (Fig 11) must cover chunking + storage, not just
+    // pipeline execution — on both the sequential and the parallel path.
+    for parallel in [false, true] {
+        let (_d, sys, ids) = build(parallel);
+        for id in &ids {
+            let total = sys.logging_overhead(id);
+            let storage = sys.storage_overhead(id);
+            assert!(
+                storage > std::time::Duration::ZERO,
+                "{id} parallel={parallel}: storage time untracked"
+            );
+            assert!(
+                total >= storage,
+                "{id} parallel={parallel}: overhead {total:?} excludes storage {storage:?}"
+            );
+        }
+    }
+}
+
+#[test]
 fn unknown_id_in_batch_errors() {
     let dir = tempfile::tempdir().unwrap();
     let mut sys = Mistique::open(dir.path(), MistiqueConfig::default()).unwrap();

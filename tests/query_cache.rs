@@ -60,6 +60,33 @@ fn different_requests_are_different_entries() {
 }
 
 #[test]
+fn full_frame_requests_share_one_entry_regardless_of_n_spelling() {
+    // `None`, `Some(n_rows)`, and an oversized `Some(n)` all denote the full
+    // frame; the cache key is built from the clamped row count so the three
+    // spellings share a single entry instead of caching the frame thrice.
+    let (_d, mut sys, id) = cached_system(16 << 20);
+    let preds = sys.intermediates_of(&id).last().unwrap().clone();
+    let n_rows = sys.metadata().intermediate(&preds).unwrap().n_rows;
+
+    let first = sys.get_intermediate(&preds, None, None).unwrap();
+    assert_ne!(first.strategy, FetchStrategy::Cached);
+    let exact = sys.get_intermediate(&preds, None, Some(n_rows)).unwrap();
+    assert_eq!(exact.strategy, FetchStrategy::Cached);
+    let oversized = sys
+        .get_intermediate(&preds, None, Some(n_rows * 10))
+        .unwrap();
+    assert_eq!(oversized.strategy, FetchStrategy::Cached);
+    assert_eq!(sys.query_cache().hits(), 2);
+    assert_eq!(first.frame, exact.frame);
+    assert_eq!(first.frame, oversized.frame);
+
+    // A strict prefix is a genuinely different request.
+    let small = sys.get_intermediate(&preds, None, Some(10)).unwrap();
+    assert_ne!(small.strategy, FetchStrategy::Cached);
+    assert_eq!(small.frame.n_rows(), 10);
+}
+
+#[test]
 fn cache_disabled_by_default() {
     let (_d, mut sys, id) = cached_system(0);
     let preds = sys.intermediates_of(&id).last().unwrap().clone();

@@ -2,7 +2,12 @@
 //! (duplicates, near-duplicates, unrelated data, mixed dtypes) under a tiny
 //! buffer pool, then every key read back — warm, cold, and after reopen.
 
+use std::sync::Arc;
+
+use mistique_core::{FetchStrategy, Mistique, MistiqueConfig};
 use mistique_dataframe::{ColumnChunk, ColumnData};
+use mistique_pipeline::templates::zillow_pipelines;
+use mistique_pipeline::ZillowData;
 use mistique_store::{ChunkKey, DataStore, DataStoreConfig, PlacementPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -100,6 +105,70 @@ fn mixed_workload_under_eviction_pressure() {
     );
     assert!(stats.unique_bytes <= stats.logical_bytes);
     assert_eq!(stats.chunks_stored + stats.dedup_hits, 300);
+}
+
+#[test]
+fn parallel_read_stored_is_byte_identical_to_serial() {
+    // Cold reads through the concurrent read path must reproduce the serial
+    // result bit-for-bit at every worker count (including 0 = one per CPU).
+    let dir = tempfile::tempdir().unwrap();
+    let mut sys = Mistique::open(dir.path(), MistiqueConfig::default()).unwrap();
+    let data = Arc::new(ZillowData::generate(400, 7));
+    let id = sys
+        .register_trad(zillow_pipelines().remove(0), data)
+        .unwrap();
+    sys.log_intermediates(&id).unwrap();
+    sys.store_mut().flush().unwrap();
+
+    for interm in sys.intermediates_of(&id) {
+        sys.set_read_parallelism(1);
+        sys.store_mut().clear_read_cache();
+        let serial = sys
+            .fetch_with_strategy(&interm, None, None, FetchStrategy::Read)
+            .unwrap()
+            .frame;
+        for workers in [2usize, 4, 0] {
+            sys.set_read_parallelism(workers);
+            sys.store_mut().clear_read_cache();
+            let par = sys
+                .fetch_with_strategy(&interm, None, None, FetchStrategy::Read)
+                .unwrap()
+                .frame;
+            assert_eq!(serial.n_rows(), par.n_rows(), "{interm} workers={workers}");
+            for col in serial.columns() {
+                let a = col.data.to_f64();
+                let b = par.column(&col.name).unwrap().data.to_f64();
+                assert_eq!(a.len(), b.len(), "{interm} col {}", col.name);
+                for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{interm} col {} row {i} workers={workers}",
+                        col.name
+                    );
+                }
+            }
+        }
+    }
+
+    // The sparse row-fetch path shares the same fan-out: spot-check it too.
+    let interm = sys.intermediates_of(&id).pop().unwrap();
+    let n_rows = sys.metadata().intermediate(&interm).unwrap().n_rows;
+    let rows = [0, 7, n_rows / 2, n_rows - 1];
+    sys.set_read_parallelism(1);
+    sys.store_mut().clear_read_cache();
+    let serial = sys.get_rows(&interm, &rows, None).unwrap().frame;
+    sys.set_read_parallelism(4);
+    sys.store_mut().clear_read_cache();
+    let par = sys.get_rows(&interm, &rows, None).unwrap().frame;
+    assert_eq!(serial.n_rows(), par.n_rows());
+    for col in serial.columns() {
+        let a = col.data.to_f64();
+        let b = par.column(&col.name).unwrap().data.to_f64();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "get_rows col {}", col.name);
+        }
+    }
 }
 
 #[test]
