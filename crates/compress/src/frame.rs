@@ -153,7 +153,9 @@ pub fn decompress(frame: &[u8]) -> Result<Vec<u8>, CodecError> {
     let payload = &frame[pos..];
     let out = match scheme {
         Scheme::Raw => payload.to_vec(),
-        Scheme::Rle => rle::decompress(payload).ok_or(CodecError::Corrupt)?,
+        // The header's raw length caps RLE expansion: a torn or corrupt
+        // stream is rejected before it can zero-fill past the declared size.
+        Scheme::Rle => rle::decompress_with_limit(payload, raw_len).ok_or(CodecError::Corrupt)?,
         Scheme::Lzss => lzss::decompress(payload).ok_or(CodecError::Corrupt)?,
         Scheme::Delta4 => delta::decompress(payload, 4).ok_or(CodecError::Corrupt)?,
         Scheme::Delta1 => delta::decompress(payload, 1).ok_or(CodecError::Corrupt)?,

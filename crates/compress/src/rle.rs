@@ -31,13 +31,23 @@ const MAX_DECODED: usize = 1 << 31;
 /// Decode a run-length stream produced by [`compress`].
 /// Returns `None` on malformed input.
 pub fn decompress(input: &[u8]) -> Option<Vec<u8>> {
+    decompress_with_limit(input, MAX_DECODED)
+}
+
+/// [`decompress`] with an explicit output-size cap: decoding fails as soon
+/// as the output would exceed `limit` bytes. Unlike the other codecs, RLE
+/// carries no total-length header, so a corrupt stream can declare runs
+/// whose expansion is bounded only by this cap — callers that know the
+/// expected raw size (the frame decoder does) should pass it so corruption
+/// is rejected *before* gigabytes are zero-filled, not after.
+pub fn decompress_with_limit(input: &[u8], limit: usize) -> Option<Vec<u8>> {
     let mut out = Vec::new();
     let mut pos = 0;
     while pos < input.len() {
         let run = varint::read_u64(input, &mut pos)? as usize;
         let byte = *input.get(pos)?;
         pos += 1;
-        if run == 0 || out.len().checked_add(run)? > MAX_DECODED {
+        if run == 0 || out.len().checked_add(run)? > limit {
             return None; // zero runs never produced; oversized = corrupt
         }
         out.resize(out.len() + run, byte);
@@ -84,5 +94,13 @@ mod tests {
         let mut c = compress(&[1, 1, 1, 2]);
         c.pop(); // drop final byte
         assert_eq!(decompress(&c), None);
+    }
+
+    #[test]
+    fn limit_rejects_runs_past_the_cap() {
+        let input = vec![3u8; 1000];
+        let c = compress(&input);
+        assert_eq!(decompress_with_limit(&c, 1000), Some(input));
+        assert_eq!(decompress_with_limit(&c, 999), None);
     }
 }

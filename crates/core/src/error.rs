@@ -20,6 +20,10 @@ pub enum MistiqueError {
     },
     /// A model id was registered twice.
     DuplicateModel(String),
+    /// [`crate::system::Mistique::reopen`] found no manifest in the
+    /// directory — nothing was ever persisted, or the crash happened before
+    /// the first manifest rename.
+    NoManifest,
     /// Invalid argument (message explains).
     Invalid(String),
 }
@@ -37,6 +41,7 @@ impl std::fmt::Display for MistiqueError {
                 write!(f, "no column {column} in {intermediate}")
             }
             MistiqueError::DuplicateModel(m) => write!(f, "model {m} already registered"),
+            MistiqueError::NoManifest => write!(f, "no manifest in directory"),
             MistiqueError::Invalid(m) => write!(f, "invalid argument: {m}"),
         }
     }

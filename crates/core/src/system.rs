@@ -10,7 +10,9 @@ use mistique_dataframe::{ColumnChunk, DataFrame};
 use mistique_nn::{ArchConfig, CifarLike, Model};
 use mistique_obs::Obs;
 use mistique_pipeline::{Pipeline, ZillowData};
-use mistique_store::{ChunkKey, DataStore, DataStoreConfig, PlacementPolicy};
+use mistique_store::{
+    ChunkKey, DataStore, DataStoreConfig, PlacementPolicy, RealFs, RecoveryReport, StorageBackend,
+};
 
 use crate::capture::{encode_batch, pool_batch, CaptureScheme, ValueScheme};
 use crate::cost::CostModel;
@@ -90,6 +92,11 @@ pub struct Mistique {
     pub(crate) qcache: crate::qcache::QueryCache,
     /// Shared observability handle (metrics registry + span tracer).
     pub(crate) obs: Obs,
+    /// Storage backend every on-disk mutation goes through (real filesystem
+    /// in production; [`mistique_store::FaultyFs`] in crash tests).
+    pub(crate) backend: Arc<dyn StorageBackend>,
+    /// Report of the recovery pass run by [`Mistique::reopen`], if any.
+    pub(crate) last_recovery: Option<RecoveryReport>,
 }
 
 impl Mistique {
@@ -106,7 +113,28 @@ impl Mistique {
         config: MistiqueConfig,
         obs: Obs,
     ) -> Result<Mistique, MistiqueError> {
-        let mut store = DataStore::open(&dir, config.datastore.clone())?;
+        Self::open_full(dir, config, obs, Arc::new(RealFs))
+    }
+
+    /// Open a MISTIQUE instance over an explicit [`StorageBackend`] — the
+    /// entry point crash tests use to inject faults into every on-disk
+    /// mutation.
+    pub fn open_with_backend(
+        dir: impl AsRef<Path>,
+        config: MistiqueConfig,
+        backend: Arc<dyn StorageBackend>,
+    ) -> Result<Mistique, MistiqueError> {
+        Self::open_full(dir, config, Obs::new(), backend)
+    }
+
+    pub(crate) fn open_full(
+        dir: impl AsRef<Path>,
+        config: MistiqueConfig,
+        obs: Obs,
+        backend: Arc<dyn StorageBackend>,
+    ) -> Result<Mistique, MistiqueError> {
+        let mut store =
+            DataStore::open_with_backend(&dir, config.datastore.clone(), Arc::clone(&backend))?;
         store.set_obs(&obs);
         let mut qcache = crate::qcache::QueryCache::new(config.query_cache_bytes);
         qcache.attach_obs(&obs);
@@ -121,7 +149,16 @@ impl Mistique {
             store_time: HashMap::new(),
             qcache,
             obs,
+            backend,
+            last_recovery: None,
         })
+    }
+
+    /// What the recovery pass found, when this instance was produced by
+    /// [`Mistique::reopen`] (always runs recovery). `None` for instances from
+    /// [`Mistique::open`].
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.last_recovery
     }
 
     /// Register a traditional ML pipeline. Returns the model id.

@@ -1,6 +1,9 @@
 //! Property tests on layer semantics: linearity of convolution and dense
 //! layers, pooling bounds, and softmax invariants — for arbitrary inputs.
 
+// Tensor sizes are written `channels * h * w` even when a factor is 1.
+#![allow(clippy::identity_op)]
+
 use mistique_nn::layer::{Activation, Layer};
 use mistique_nn::Tensor;
 use proptest::prelude::*;

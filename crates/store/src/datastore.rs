@@ -3,12 +3,14 @@
 
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 use mistique_dataframe::ColumnChunk;
 use mistique_dedup::{content_digest, discretize, ContentDigest, LshIndex, MinHasher};
 use mistique_obs::{Counter, Gauge, Histogram, Obs};
 
+use crate::backend::{RealFs, StorageBackend};
 use crate::disk::DiskStore;
 use crate::lru::LruCache;
 use crate::mem::InMemoryStore;
@@ -103,6 +105,22 @@ pub struct StoreStats {
     pub similarity_placements: u64,
 }
 
+/// What a [`DataStore::recover`] pass found and did. Every partition file in
+/// the directory is accounted for: `partitions_ok + quarantined` covers the
+/// on-disk set, and `missing` counts catalog references with no backing file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Partitions on disk whose integrity trailer verified.
+    pub partitions_ok: u64,
+    /// Partitions that failed verification and were set aside.
+    pub quarantined: u64,
+    /// Orphaned `*.tmp` files (crash mid-write) removed.
+    pub orphans_removed: u64,
+    /// Catalog-referenced partitions with no file on disk (and not open in
+    /// the buffer pool) — e.g. a crash before the partition was sealed.
+    pub missing: u64,
+}
+
 /// Result of storing one chunk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PutOutcome {
@@ -183,12 +201,26 @@ pub struct DataStore {
     /// Byte-budgeted LRU over partitions read back from disk; evicts one
     /// victim at a time (never a clear-all).
     read_cache: LruCache<PartitionId, Partition>,
+    /// Partitions set aside by [`DataStore::recover`]; reads of chunks in
+    /// them fail with [`StoreError::Quarantined`] instead of a decode error.
+    quarantined: HashMap<PartitionId, String>,
     stats: StoreStats,
 }
 
 impl DataStore {
-    /// Open a DataStore persisting partitions under `dir`.
+    /// Open a DataStore persisting partitions under `dir` on the real
+    /// filesystem.
     pub fn open(dir: impl AsRef<Path>, config: DataStoreConfig) -> Result<DataStore, StoreError> {
+        Self::open_with_backend(dir, config, Arc::new(RealFs))
+    }
+
+    /// Open a DataStore over an explicit [`StorageBackend`] (fault injection
+    /// in tests; the real filesystem in production).
+    pub fn open_with_backend(
+        dir: impl AsRef<Path>,
+        config: DataStoreConfig,
+        backend: Arc<dyn StorageBackend>,
+    ) -> Result<DataStore, StoreError> {
         assert!(
             config.minhash_hashes.is_multiple_of(config.lsh_bands),
             "minhash_hashes must be divisible by lsh_bands"
@@ -199,7 +231,7 @@ impl DataStore {
             metrics: StoreMetrics::new(&obs),
             obs,
             mem: InMemoryStore::new(config.mem_capacity),
-            disk: DiskStore::open(dir)?,
+            disk: DiskStore::open_with_backend(dir, backend)?,
             key_map: HashMap::new(),
             digest_loc: HashMap::new(),
             sealed: HashSet::new(),
@@ -210,9 +242,15 @@ impl DataStore {
             lsh_item_to_partition: HashMap::new(),
             next_lsh_item: 0,
             read_cache: LruCache::new(config.mem_capacity),
+            quarantined: HashMap::new(),
             stats: StoreStats::default(),
             config,
         })
+    }
+
+    /// The storage backend partitions are written through.
+    pub fn backend(&self) -> Arc<dyn StorageBackend> {
+        Arc::clone(self.disk.backend())
     }
 
     /// Replace the store's observability handle (e.g. with one shared by the
@@ -430,6 +468,55 @@ impl DataStore {
         Ok(())
     }
 
+    /// Recovery pass over the store directory, run after (re)opening over a
+    /// directory that may have seen a crash: removes orphaned `*.tmp` files,
+    /// verifies every partition's integrity trailer, and quarantines
+    /// failures so one corrupt partition cannot poison the rest. Catalog
+    /// entries pointing at partitions with no backing file are counted as
+    /// `missing`. Results are also published on the `store.recovery.*`
+    /// counters.
+    pub fn recover(&mut self) -> Result<RecoveryReport, StoreError> {
+        let outcome = self.disk.sweep()?;
+        let mut report = RecoveryReport {
+            partitions_ok: outcome.ok.len() as u64,
+            quarantined: outcome.quarantined.len() as u64,
+            orphans_removed: outcome.orphans_removed,
+            missing: 0,
+        };
+        let on_disk: HashSet<PartitionId> = outcome.ok.iter().copied().collect();
+        for (pid, reason) in outcome.quarantined {
+            self.read_cache.remove(&pid);
+            self.quarantined.insert(pid, reason);
+        }
+        let referenced: HashSet<PartitionId> = self.digest_loc.values().copied().collect();
+        for pid in referenced {
+            if !on_disk.contains(&pid)
+                && !self.quarantined.contains_key(&pid)
+                && !self.mem.contains(pid)
+            {
+                report.missing += 1;
+            }
+        }
+        self.obs
+            .counter("store.recovery.partitions_ok")
+            .add(report.partitions_ok);
+        self.obs
+            .counter("store.recovery.quarantined")
+            .add(report.quarantined);
+        self.obs
+            .counter("store.recovery.orphans_removed")
+            .add(report.orphans_removed);
+        self.obs
+            .counter("store.recovery.missing")
+            .add(report.missing);
+        Ok(report)
+    }
+
+    /// Quarantined partitions (id → reason) from recovery passes so far.
+    pub fn quarantined(&self) -> &HashMap<PartitionId, String> {
+        &self.quarantined
+    }
+
     /// Whether a chunk has been stored under this key.
     pub fn contains(&self, key: &ChunkKey) -> bool {
         self.key_map.contains_key(key)
@@ -447,6 +534,12 @@ impl DataStore {
     fn get_chunk_inner(&mut self, key: &ChunkKey) -> Result<ColumnChunk, StoreError> {
         let digest = *self.key_map.get(key).ok_or(StoreError::NotFound)?;
         let pid = *self.digest_loc.get(&digest).ok_or(StoreError::NotFound)?;
+        if let Some(reason) = self.quarantined.get(&pid) {
+            return Err(StoreError::Quarantined {
+                partition: pid,
+                reason: reason.clone(),
+            });
+        }
 
         // 1. Open partition in the buffer pool.
         if let Some(part) = self.mem.get(pid) {
@@ -522,11 +615,18 @@ impl DataStore {
         keys: &[ChunkKey],
         parallelism: usize,
     ) -> Result<Vec<Vec<u8>>, StoreError> {
-        // Resolve every key up front so a missing one fails before any I/O.
+        // Resolve every key up front so a missing or quarantined one fails
+        // before any I/O.
         let mut locs = Vec::with_capacity(keys.len());
         for key in keys {
             let digest = *self.key_map.get(key).ok_or(StoreError::NotFound)?;
             let pid = *self.digest_loc.get(&digest).ok_or(StoreError::NotFound)?;
+            if let Some(reason) = self.quarantined.get(&pid) {
+                return Err(StoreError::Quarantined {
+                    partition: pid,
+                    reason: reason.clone(),
+                });
+            }
             locs.push((digest, pid));
         }
 
@@ -1010,6 +1110,84 @@ mod tests {
             ds.get_chunk_bytes_batch(&[ChunkKey::new("no", "pe", 9)], 4),
             Err(StoreError::NotFound)
         ));
+    }
+
+    #[test]
+    fn recover_quarantines_corrupt_partition_and_spares_the_rest() {
+        use crate::backend::FaultyFs;
+        use std::path::PathBuf;
+
+        let fs = FaultyFs::new();
+        let config = DataStoreConfig {
+            policy: PlacementPolicy::ByIntermediate,
+            mem_capacity: 1 << 20,
+            partition_target_bytes: 64 << 10,
+            ..DataStoreConfig::default()
+        };
+        let mut ds = DataStore::open_with_backend("/vfs", config, Arc::new(fs.clone())).unwrap();
+        let good_key = ChunkKey::new("m.good", "c", 0);
+        let bad_key = ChunkKey::new("m.bad", "c", 0);
+        ds.put_chunk(
+            good_key.clone(),
+            &f64_chunk((0..500).map(|i| i as f64).collect()),
+        )
+        .unwrap();
+        ds.put_chunk(bad_key.clone(), &f64_chunk(vec![9.0; 500]))
+            .unwrap();
+        ds.flush().unwrap();
+        ds.clear_read_cache();
+
+        // Bitrot in the partition holding bad_key (ByIntermediate: one
+        // partition per intermediate, created in put order).
+        fs.corrupt_durable(&PathBuf::from("/vfs/part_00000001.bin"), |bytes| {
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xff;
+        });
+
+        let report = ds.recover().unwrap();
+        assert_eq!(report.partitions_ok, 1);
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(report.missing, 0);
+        assert_eq!(ds.obs().counter("store.recovery.quarantined").get(), 1);
+        assert_eq!(ds.obs().counter("store.recovery.partitions_ok").get(), 1);
+
+        // The corrupt partition fails loudly; the good one still reads.
+        match ds.get_chunk(&bad_key) {
+            Err(StoreError::Quarantined { partition, .. }) => assert_eq!(partition, 1),
+            other => panic!("expected Quarantined, got {other:?}"),
+        }
+        assert!(matches!(
+            ds.get_chunk_bytes_batch(&[bad_key], 2),
+            Err(StoreError::Quarantined { .. })
+        ));
+        assert!(ds.get_chunk(&good_key).is_ok());
+    }
+
+    #[test]
+    fn recover_counts_missing_partitions() {
+        use crate::backend::FaultyFs;
+        use std::path::PathBuf;
+
+        let fs = FaultyFs::new();
+        let config = DataStoreConfig {
+            policy: PlacementPolicy::ByIntermediate,
+            ..DataStoreConfig::default()
+        };
+        let mut ds = DataStore::open_with_backend("/vfs", config, Arc::new(fs.clone())).unwrap();
+        let key = ChunkKey::new("m.i", "c", 0);
+        ds.put_chunk(key.clone(), &f64_chunk(vec![1.0; 200]))
+            .unwrap();
+        ds.flush().unwrap();
+        ds.clear_read_cache();
+        // Simulate a crash that lost the partition file but kept the catalog.
+        let backend = ds.backend();
+        backend
+            .remove_file(&PathBuf::from("/vfs/part_00000000.bin"))
+            .unwrap();
+        let report = ds.recover().unwrap();
+        assert_eq!(report.partitions_ok, 0);
+        assert_eq!(report.missing, 1);
+        assert!(matches!(ds.get_chunk(&key), Err(StoreError::NotFound)));
     }
 
     #[test]

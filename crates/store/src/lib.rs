@@ -17,13 +17,17 @@
 //! Reads go through the same facade: chunk key → digest → partition →
 //! (memory | disk) → deserialized [`mistique_dataframe::ColumnChunk`].
 
+pub mod backend;
 pub mod datastore;
 pub mod disk;
 pub mod lru;
 pub mod mem;
 pub mod partition;
 
-pub use datastore::{ChunkKey, DataStore, DataStoreConfig, PlacementPolicy, StoreStats};
+pub use backend::{FaultyFs, RealFs, StorageBackend, TornWrite};
+pub use datastore::{
+    ChunkKey, DataStore, DataStoreConfig, PlacementPolicy, RecoveryReport, StoreStats,
+};
 pub use disk::DiskStore;
 pub use lru::{LruCache, LruList};
 pub use mem::InMemoryStore;
@@ -42,6 +46,14 @@ pub enum StoreError {
     NotFound,
     /// Partition bytes did not parse.
     CorruptPartition(&'static str),
+    /// The partition holding the chunk failed its integrity check at
+    /// recovery and was set aside; other partitions remain readable.
+    Quarantined {
+        /// The quarantined partition.
+        partition: crate::partition::PartitionId,
+        /// Why recovery rejected it (e.g. "checksum mismatch").
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -52,6 +64,12 @@ impl std::fmt::Display for StoreError {
             StoreError::Chunk(e) => write!(f, "chunk decode error: {e}"),
             StoreError::NotFound => write!(f, "chunk not found"),
             StoreError::CorruptPartition(m) => write!(f, "corrupt partition: {m}"),
+            StoreError::Quarantined { partition, reason } => {
+                write!(
+                    f,
+                    "corrupt partition {partition:08x} quarantined at recovery: {reason}"
+                )
+            }
         }
     }
 }

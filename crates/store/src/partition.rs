@@ -89,9 +89,10 @@ impl Partition {
         out
     }
 
-    /// Decode a sealed partition back into an in-memory one, verifying the
-    /// integrity trailer first.
-    pub fn unseal(id: PartitionId, sealed: &[u8]) -> Result<Partition, StoreError> {
+    /// Verify a sealed partition's integrity trailer without decompressing
+    /// the payload — the cheap check the recovery sweep runs over every
+    /// partition file. Torn writes and bitrot both fail here.
+    pub fn verify_checksum(sealed: &[u8]) -> Result<(), StoreError> {
         if sealed.len() < 8 {
             return Err(StoreError::CorruptPartition("missing checksum"));
         }
@@ -100,6 +101,14 @@ impl Partition {
         if mistique_dedup::xxhash64(frame, 0x5ea1) != expected {
             return Err(StoreError::CorruptPartition("checksum mismatch"));
         }
+        Ok(())
+    }
+
+    /// Decode a sealed partition back into an in-memory one, verifying the
+    /// integrity trailer first.
+    pub fn unseal(id: PartitionId, sealed: &[u8]) -> Result<Partition, StoreError> {
+        Self::verify_checksum(sealed)?;
+        let frame = &sealed[..sealed.len() - 8];
         let buf = decompress(frame)?;
         let mut pos = 0usize;
         let take = |pos: &mut usize, n: usize| -> Result<&[u8], StoreError> {

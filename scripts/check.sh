@@ -16,4 +16,16 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test --workspace -q
 
+# The reliability suites are named explicitly so a target that silently
+# drops out of the workspace (e.g. a broken [[test]] path entry) fails the
+# gate instead of being skipped.
+echo "== reliability suites =="
+cargo test -q -p mistique-core --test failure_injection
+cargo test -q -p mistique-core --test crash_safety
+cargo test -q -p mistique-core --test proptest_system
+cargo test -q -p mistique-store --test lru_model
+cargo test -q -p mistique-compress --test truncation_fuzz
+cargo test -q -p mistique-compress --test proptest_roundtrip
+cargo test -q -p mistique-nn --test proptest_layers
+
 echo "all checks passed"

@@ -5,12 +5,13 @@
 
 use std::time::Duration;
 
-use mistique_core::capture::CaptureScheme;
+use mistique_core::capture::{decode_column, encode_batch, pool_batch, CaptureScheme, ValueScheme};
 use mistique_core::metadata::{IntermediateMeta, ModelKind, ModelMeta};
 use mistique_core::CostModel;
 use mistique_dataframe::{Column, ColumnData, DataFrame};
 use mistique_quantize::half::f16;
-use mistique_quantize::KbitQuantizer;
+use mistique_quantize::pool::pooled_dims;
+use mistique_quantize::{avg_pool2d, max_pool2d, KbitQuantizer, ThresholdQuantizer};
 use mistique_store::{ChunkKey, DataStore, DataStoreConfig, PlacementPolicy};
 use proptest::prelude::*;
 
@@ -198,5 +199,137 @@ proptest! {
         };
         let should = cm.should_read(&model, &meta, n);
         prop_assert_eq!(should, cm.t_rerun(&model, &meta, n) >= cm.t_read(&meta, n));
+    }
+
+    // POOL_QT: pooling an h×w map with window σ yields exactly
+    // ceil(h/σ)·ceil(w/σ) values; averages stay within the map's value
+    // range, maxes select actual map elements, and σ=1 is the identity.
+    #[test]
+    fn pool_qt_bounds_and_shape(
+        (h, w, sigma, map) in (1..12usize, 1..12usize, 1..8usize).prop_flat_map(|(h, w, sigma)| {
+            let n = h * w;
+            (
+                Just(h),
+                Just(w),
+                Just(sigma),
+                proptest::collection::vec(-1000.0f32..1000.0, n),
+            )
+        }),
+    ) {
+        let (oh, ow) = pooled_dims(h, w, sigma);
+        prop_assert_eq!(oh, h.div_ceil(sigma));
+        prop_assert_eq!(ow, w.div_ceil(sigma));
+        let avg = avg_pool2d(&map, h, w, sigma);
+        let max = max_pool2d(&map, h, w, sigma);
+        prop_assert_eq!(avg.len(), oh * ow);
+        prop_assert_eq!(max.len(), oh * ow);
+        let lo = map.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = map.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        for &v in &avg {
+            // A window average cannot leave the map's range (small slack for
+            // f32 summation over windows of up to 7×7 values).
+            prop_assert!(v >= lo - 0.5 && v <= hi + 0.5, "avg {} outside [{}, {}]", v, lo, hi);
+        }
+        for &v in &max {
+            prop_assert!(map.contains(&v), "max pooling fabricated {}", v);
+        }
+        if sigma == 1 {
+            prop_assert_eq!(&avg, &map);
+            prop_assert_eq!(&max, &map);
+        }
+    }
+
+    // POOL_QT over a capture batch: the pooled feature count is
+    // channels·ceil(h/σ)·ceil(w/σ) for every example.
+    #[test]
+    fn pool_qt_batch_feature_count(
+        (channels, h, w, sigma, examples) in (1..4usize, 1..9usize, 1..9usize, 1..5usize, 1..6usize)
+            .prop_flat_map(|(c, h, w, sigma, n)| {
+                let len = c * h * w;
+                (
+                    Just(c),
+                    Just(h),
+                    Just(w),
+                    Just(sigma),
+                    proptest::collection::vec(
+                        proptest::collection::vec(-100.0f32..100.0, len),
+                        n,
+                    ),
+                )
+            }),
+    ) {
+        let (pooled, out_features) = pool_batch(&examples, channels, h, w, sigma);
+        let (oh, ow) = pooled_dims(h, w, sigma);
+        prop_assert_eq!(out_features, channels * oh * ow);
+        prop_assert_eq!(pooled.len(), examples.len());
+        for p in &pooled {
+            prop_assert_eq!(p.len(), out_features);
+        }
+        if sigma == 1 {
+            prop_assert_eq!(&pooled, &examples);
+        }
+    }
+
+    // THRESHOLD_QT: the fitted threshold lies within the sample's value
+    // range, encoding is exactly `v > t`, and the packed bitstream
+    // roundtrips losslessly.
+    #[test]
+    fn threshold_qt_fit_and_pack_roundtrip(
+        sample in proptest::collection::vec(-1e4f32..1e4, 1..300),
+        pct in 0.0f64..=1.0,
+    ) {
+        let q = ThresholdQuantizer::fit(&sample, pct);
+        let t = q.threshold();
+        let lo = sample.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = sample.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        // Linear interpolation between sorted sample values stays in range
+        // (up to f64 → f32 rounding at the edges).
+        prop_assert!(
+            t >= lo - lo.abs() * 1e-5 - 1e-5 && t <= hi + hi.abs() * 1e-5 + 1e-5,
+            "threshold {} outside sample range [{}, {}]", t, lo, hi
+        );
+        let bits = q.encode(&sample);
+        for (&v, &b) in sample.iter().zip(&bits) {
+            prop_assert_eq!(b, v > t);
+        }
+        let packed = q.encode_packed(&sample);
+        prop_assert_eq!(packed.len(), sample.len().div_ceil(8), "1 bit per value");
+        let unpacked = ThresholdQuantizer::decode_packed(&packed, sample.len());
+        prop_assert_eq!(unpacked, Some(bits));
+    }
+
+    // THRESHOLD_QT through the capture path: encode_batch binarizes every
+    // column as exactly `v > t`, decode_column maps it to {0.0, 1.0}, and
+    // re-encoding under the returned threshold is deterministic (the paper:
+    // once picked, the threshold is fixed for the intermediate's lifetime).
+    #[test]
+    fn threshold_qt_capture_roundtrip(
+        (n_features, examples) in (1..16usize, 1..8usize).prop_flat_map(|(n, f)| {
+            (
+                Just(f),
+                proptest::collection::vec(
+                    proptest::collection::vec(-100.0f32..100.0, f),
+                    n,
+                ),
+            )
+        }),
+        pct in 0.5f64..1.0,
+    ) {
+        let scheme = ValueScheme::Threshold { pct };
+        let batch = encode_batch(&examples, n_features, scheme, None, None);
+        let t = batch.threshold.expect("fresh fit returns its threshold");
+        prop_assert_eq!(batch.frame.n_cols(), n_features);
+        prop_assert_eq!(batch.frame.n_rows(), examples.len());
+        for j in 0..n_features {
+            let col = batch.frame.column(&format!("n{j}")).expect("column exists");
+            let decoded = decode_column(&col.data, scheme, None);
+            for (i, ex) in examples.iter().enumerate() {
+                let expected = if ex[j] > t { 1.0 } else { 0.0 };
+                prop_assert_eq!(decoded[i], expected, "row {} col {}", i, j);
+            }
+        }
+        let again = encode_batch(&examples, n_features, scheme, None, Some(t));
+        prop_assert!(again.threshold.is_none(), "reused threshold is not re-returned");
+        prop_assert_eq!(again.frame, batch.frame);
     }
 }
