@@ -91,6 +91,13 @@ fn main() {
         ],
     );
     println!("\n  frames byte-identical across worker counts: yes");
+
+    // Per-query audit of the final (parallel) cold read: plan, predicted vs
+    // actual cost, partition/codec attribution.
+    if let Some(report) = sys.last_report() {
+        println!("\nEXPLAIN of the last cold read:");
+        print!("{}", report.render());
+    }
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);

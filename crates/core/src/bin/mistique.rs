@@ -8,7 +8,15 @@
 //! mistique topk  <dir> <intermediate> <column> [k]
 //! mistique hist  <dir> <intermediate> <column> [buckets]
 //! mistique stats <dir> [--json <file>]       # metrics + span report
+//! mistique explain <dir> [--last <n>] [--perfetto <file>] [--flame <file>]
 //! ```
+//!
+//! `explain` replays one read per materialized intermediate plus a sample
+//! diagnostic query, then prints the per-query EXPLAIN reports (plan chosen,
+//! predicted vs actual cost, cache/partition/codec attribution) and the
+//! hierarchical span tree of the last query. `--perfetto` writes a
+//! Chrome-trace JSON loadable at `ui.perfetto.dev`; `--flame` writes
+//! flamegraph collapsed stacks.
 //!
 //! Works on any directory produced by `Mistique::persist()`; only reads are
 //! available (re-running needs the executable model, see `persist` docs).
@@ -22,8 +30,8 @@ use mistique_pipeline::ZillowData;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mistique <demo|info|show|head|topk|hist|stats> <dir> [args...]\n\
-         run `mistique demo /tmp/mq && mistique info /tmp/mq` to try it"
+        "usage: mistique <demo|info|show|head|topk|hist|stats|explain> <dir> [args...]\n\
+         run `mistique demo /tmp/mq && mistique explain /tmp/mq` to try it"
     );
     ExitCode::FAILURE
 }
@@ -188,6 +196,75 @@ fn run(cmd: &str, dir: &str, rest: &[String]) -> Result<(), Box<dyn std::error::
                 let path = rest.get(pos + 1).ok_or("--json needs a file path")?;
                 std::fs::write(path, sys.obs_snapshot_json().to_string())?;
                 println!("\nwrote JSON snapshot to {path}");
+            }
+        }
+        "explain" => {
+            let mut sys = open(dir)?;
+            // Replay live queries so the reports and trace ring reflect real
+            // reads against this store, not just load-time state.
+            let interms: Vec<String> = sys
+                .model_ids()
+                .iter()
+                .flat_map(|m| sys.intermediates_of(m))
+                .collect();
+            for interm in &interms {
+                let materialized = sys
+                    .metadata()
+                    .intermediate(interm)
+                    .map(|m| m.materialized)
+                    .unwrap_or(false);
+                if materialized {
+                    let _ = sys.fetch_with_strategy(interm, None, Some(64), FetchStrategy::Read);
+                }
+            }
+            // One diagnostic query, so at least one report carries a
+            // `diag.*` attribution.
+            if let Some(interm) = interms.iter().find(|i| {
+                sys.metadata()
+                    .intermediate(i)
+                    .map(|m| m.materialized && !m.columns.is_empty())
+                    .unwrap_or(false)
+            }) {
+                let interm = interm.clone();
+                let col = sys.metadata().intermediate(&interm).unwrap().columns[0].clone();
+                let _ = sys.topk(&interm, &col, 5);
+            }
+
+            let last: usize = match rest.iter().position(|a| a == "--last") {
+                Some(pos) => rest.get(pos + 1).ok_or("--last needs a count")?.parse()?,
+                None => 10,
+            };
+            let reports = sys.query_reports(last);
+            if reports.is_empty() {
+                println!("no queries ran against {dir}; nothing to explain");
+            }
+            for r in &reports {
+                print!("{}", r.render());
+            }
+            if let Some(r) = reports.last() {
+                println!("\ntrace tree of query #{} (trace {}):", r.seq, r.trace_id);
+                print!("{}", sys.render_trace(r.trace_id));
+            }
+            let drift = sys.drift_monitor();
+            println!(
+                "\ncost model drift: worst ratio {:.3} (tolerance {:.1}){}",
+                drift.worst_drift(),
+                drift.tolerance(),
+                if drift.any_flagged() {
+                    "  ** MISCALIBRATED **"
+                } else {
+                    ""
+                }
+            );
+            if let Some(pos) = rest.iter().position(|a| a == "--perfetto") {
+                let path = rest.get(pos + 1).ok_or("--perfetto needs a file path")?;
+                std::fs::write(path, sys.perfetto_json())?;
+                println!("wrote Chrome-trace JSON to {path} (open at ui.perfetto.dev)");
+            }
+            if let Some(pos) = rest.iter().position(|a| a == "--flame") {
+                let path = rest.get(pos + 1).ok_or("--flame needs a file path")?;
+                std::fs::write(path, sys.flamegraph_folded())?;
+                println!("wrote folded stacks to {path} (pipe through flamegraph.pl)");
             }
         }
         _ => {

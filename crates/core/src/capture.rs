@@ -36,6 +36,19 @@ impl ValueScheme {
         }
     }
 
+    /// Worst-case per-value error bound of the scheme when statically known.
+    /// `Some(0.0)` means lossless; `None` means the bound depends on the data
+    /// distribution (KBIT quantile bins, THRESHOLD binarization). LP_QT's
+    /// bound is binary16's relative rounding error (2^-11) for values inside
+    /// the f16 range.
+    pub fn error_bound(&self) -> Option<f64> {
+        match self {
+            ValueScheme::Full => Some(0.0),
+            ValueScheme::Lp => Some(1.0 / 2048.0),
+            ValueScheme::Kbit { .. } | ValueScheme::Threshold { .. } => None,
+        }
+    }
+
     /// Bytes per stored value (bit-level schemes round up per value for the
     /// cost model; actual chunk packing is byte-exact).
     pub fn bytes_per_value(&self) -> f64 {
@@ -330,6 +343,14 @@ mod tests {
             pool_sigma: None,
         };
         assert_eq!(k.name(), "8BIT_QT");
+    }
+
+    #[test]
+    fn error_bounds_match_scheme_lossiness() {
+        assert_eq!(ValueScheme::Full.error_bound(), Some(0.0));
+        assert_eq!(ValueScheme::Lp.error_bound(), Some(1.0 / 2048.0));
+        assert_eq!(ValueScheme::Kbit { bits: 8 }.error_bound(), None);
+        assert_eq!(ValueScheme::Threshold { pct: 0.995 }.error_bound(), None);
     }
 
     #[test]

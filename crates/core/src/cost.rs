@@ -1,6 +1,8 @@
 //! The cost model (Sec 5): when to re-run a model vs read a stored
-//! intermediate (Eq 1–4), and when to materialize (Eq 5's γ).
+//! intermediate (Eq 1–4), and when to materialize (Eq 5's γ) — plus a
+//! [`DriftMonitor`] watching how well those predictions track reality.
 
+use std::collections::HashMap;
 use std::time::Duration;
 
 use crate::capture::ValueScheme;
@@ -96,6 +98,98 @@ impl CostModel {
         let observed = bytes as f64 / secs;
         self.read_bandwidth =
             self.ewma_alpha * observed + (1.0 - self.ewma_alpha) * self.read_bandwidth;
+    }
+}
+
+/// Tracks cost-model calibration per query class (e.g. the plan chosen:
+/// `read` or `rerun`): an EWMA of the predicted/actual time ratio. A
+/// calibrated model keeps the ratio near 1; once the smoothed ratio of any
+/// class leaves `[1/tolerance, tolerance]`, that class is flagged and the
+/// system raises the `cost_model.drift` gauge (see `Mistique`'s query
+/// reports).
+#[derive(Clone, Debug)]
+pub struct DriftMonitor {
+    /// EWMA smoothing factor in `(0, 1]`; larger reacts faster.
+    alpha: f64,
+    /// Flag once the smoothed ratio drifts beyond this factor (≥ 1).
+    tolerance: f64,
+    /// Smoothed predicted/actual ratio per query class.
+    classes: HashMap<String, f64>,
+}
+
+impl Default for DriftMonitor {
+    fn default() -> Self {
+        DriftMonitor::new(0.2, 4.0)
+    }
+}
+
+impl DriftMonitor {
+    /// A monitor with the given EWMA factor and tolerance (both clamped to
+    /// sane ranges).
+    pub fn new(alpha: f64, tolerance: f64) -> DriftMonitor {
+        DriftMonitor {
+            alpha: alpha.clamp(f64::MIN_POSITIVE, 1.0),
+            tolerance: if tolerance.is_finite() {
+                tolerance.max(1.0)
+            } else {
+                4.0
+            },
+            classes: HashMap::new(),
+        }
+    }
+
+    /// The configured tolerance factor.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// Fold one (predicted seconds, actual wall time) observation into a
+    /// query class; returns `(smoothed_ratio, flagged)`. Non-positive
+    /// predictions or instantaneous actuals are skipped (ratios would be
+    /// meaningless), returning the class's current state.
+    pub fn observe(&mut self, class: &str, predicted_s: f64, actual: Duration) -> (f64, bool) {
+        let actual_s = actual.as_secs_f64();
+        if !(predicted_s > 0.0 && actual_s > 0.0 && predicted_s.is_finite()) {
+            let current = self.ratio(class).unwrap_or(1.0);
+            return (current, self.out_of_tolerance(current));
+        }
+        let ratio = predicted_s / actual_s;
+        let smoothed = match self.classes.get(class) {
+            Some(&prev) => self.alpha * ratio + (1.0 - self.alpha) * prev,
+            None => ratio,
+        };
+        self.classes.insert(class.to_string(), smoothed);
+        (smoothed, self.out_of_tolerance(smoothed))
+    }
+
+    fn out_of_tolerance(&self, ratio: f64) -> bool {
+        ratio > self.tolerance || ratio < 1.0 / self.tolerance
+    }
+
+    /// Smoothed predicted/actual ratio of one class, if observed.
+    pub fn ratio(&self, class: &str) -> Option<f64> {
+        self.classes.get(class).copied()
+    }
+
+    /// Worst symmetric drift factor across classes: 1.0 means perfectly
+    /// calibrated, and over- and under-prediction count the same (a ratio of
+    /// 0.25 drifts as far as 4.0).
+    pub fn worst_drift(&self) -> f64 {
+        self.classes
+            .values()
+            .map(|&r| {
+                if r >= 1.0 {
+                    r
+                } else {
+                    1.0 / r.max(f64::MIN_POSITIVE)
+                }
+            })
+            .fold(1.0, f64::max)
+    }
+
+    /// Whether any class is currently out of tolerance.
+    pub fn any_flagged(&self) -> bool {
+        self.worst_drift() > self.tolerance
     }
 }
 
@@ -243,5 +337,66 @@ mod tests {
         // Convergence is monotone-stable: further folds stay put.
         cm.observe_read(1_000_000, Duration::from_millis(10));
         assert!((cm.read_bandwidth - target).abs() / target < 1e-3);
+    }
+
+    #[test]
+    fn drift_monitor_stays_quiet_when_calibrated() {
+        let mut dm = DriftMonitor::new(0.3, 4.0);
+        for _ in 0..20 {
+            // Predictions within 2x of actual: inside tolerance.
+            let (_, flagged) = dm.observe("read", 0.002, Duration::from_millis(1));
+            assert!(!flagged);
+        }
+        assert!(!dm.any_flagged());
+        assert!(dm.worst_drift() <= 4.0);
+        assert!((dm.ratio("read").unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_monitor_flags_miscalibrated_model() {
+        // A model predicting 100x the actual time: the very first
+        // observation seeds the EWMA at ratio 100, far past tolerance.
+        let mut dm = DriftMonitor::new(0.3, 4.0);
+        let (ratio, flagged) = dm.observe("read", 0.1, Duration::from_millis(1));
+        assert!((ratio - 100.0).abs() < 1e-9);
+        assert!(flagged);
+        assert!(dm.any_flagged());
+        assert!(dm.worst_drift() > 4.0);
+    }
+
+    #[test]
+    fn drift_is_symmetric_for_underprediction() {
+        // Predicting 100x too LITTLE drifts just as far.
+        let mut dm = DriftMonitor::new(0.3, 4.0);
+        let (ratio, flagged) = dm.observe("rerun", 0.00001, Duration::from_millis(1));
+        assert!(ratio < 1.0);
+        assert!(flagged);
+        assert!((dm.worst_drift() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn drift_classes_are_independent_and_recover() {
+        let mut dm = DriftMonitor::new(0.5, 4.0);
+        dm.observe("rerun", 1.0, Duration::from_millis(10)); // ratio 100
+        assert!(dm.any_flagged());
+        assert_eq!(dm.ratio("read"), None);
+        // Calibrated observations pull the class back inside tolerance.
+        let mut flagged = true;
+        for _ in 0..12 {
+            (_, flagged) = dm.observe("rerun", 0.01, Duration::from_millis(10));
+        }
+        assert!(!flagged, "EWMA recovered: {:?}", dm.ratio("rerun"));
+        assert!(!dm.any_flagged());
+    }
+
+    #[test]
+    fn drift_skips_degenerate_observations() {
+        let mut dm = DriftMonitor::new(0.3, 4.0);
+        let (ratio, flagged) = dm.observe("read", 0.0, Duration::from_millis(1));
+        assert_eq!(ratio, 1.0);
+        assert!(!flagged);
+        let (_, flagged) = dm.observe("read", 1.0, Duration::ZERO);
+        assert!(!flagged);
+        assert_eq!(dm.ratio("read"), None, "nothing was folded in");
     }
 }

@@ -43,6 +43,17 @@ impl Mistique {
         column: &str,
         row: usize,
     ) -> Result<f64, MistiqueError> {
+        self.with_query_label("diag.pointq", |sys| {
+            sys.pointq_inner(intermediate, column, row)
+        })
+    }
+
+    fn pointq_inner(
+        &mut self,
+        intermediate: &str,
+        column: &str,
+        row: usize,
+    ) -> Result<f64, MistiqueError> {
         let r = self.get_intermediate(intermediate, Some(&[column]), None)?;
         let values = r.frame.columns()[0].data.to_f64();
         values
@@ -60,6 +71,15 @@ impl Mistique {
         column: &str,
         k: usize,
     ) -> Result<Vec<(usize, f64)>, MistiqueError> {
+        self.with_query_label("diag.topk", |sys| sys.topk_inner(intermediate, column, k))
+    }
+
+    fn topk_inner(
+        &mut self,
+        intermediate: &str,
+        column: &str,
+        k: usize,
+    ) -> Result<Vec<(usize, f64)>, MistiqueError> {
         let r = self.get_intermediate(intermediate, Some(&[column]), None)?;
         let values = r.frame.columns()[0].data.to_f64();
         let mut pairs: Vec<(usize, f64)> = values.into_iter().enumerate().collect();
@@ -71,6 +91,17 @@ impl Mistique {
     /// COL_DIST: histogram of a column — e.g. "plot the error rates for all
     /// homes".
     pub fn col_dist(
+        &mut self,
+        intermediate: &str,
+        column: &str,
+        n_buckets: usize,
+    ) -> Result<Vec<HistBucket>, MistiqueError> {
+        self.with_query_label("diag.col_dist", |sys| {
+            sys.col_dist_inner(intermediate, column, n_buckets)
+        })
+    }
+
+    fn col_dist_inner(
         &mut self,
         intermediate: &str,
         column: &str,
@@ -117,6 +148,25 @@ impl Mistique {
         column_b: &str,
         tolerance: f64,
     ) -> Result<Vec<usize>, MistiqueError> {
+        self.with_query_label("diag.col_diff", |sys| {
+            sys.col_diff_inner(
+                intermediate_a,
+                column_a,
+                intermediate_b,
+                column_b,
+                tolerance,
+            )
+        })
+    }
+
+    fn col_diff_inner(
+        &mut self,
+        intermediate_a: &str,
+        column_a: &str,
+        intermediate_b: &str,
+        column_b: &str,
+        tolerance: f64,
+    ) -> Result<Vec<usize>, MistiqueError> {
         let a = self.get_intermediate(intermediate_a, Some(&[column_a]), None)?;
         let b = self.get_intermediate(intermediate_b, Some(&[column_b]), None)?;
         let va = a.frame.columns()[0].data.to_f64();
@@ -130,6 +180,17 @@ impl Mistique {
     /// ROW_DIFF: per-column deltas between two rows — e.g. "compare features
     /// for Home-50 and Home-55".
     pub fn row_diff(
+        &mut self,
+        intermediate: &str,
+        row_a: usize,
+        row_b: usize,
+    ) -> Result<Vec<(String, f64)>, MistiqueError> {
+        self.with_query_label("diag.row_diff", |sys| {
+            sys.row_diff_inner(intermediate, row_a, row_b)
+        })
+    }
+
+    fn row_diff_inner(
         &mut self,
         intermediate: &str,
         row_a: usize,
@@ -154,6 +215,17 @@ impl Mistique {
     /// `groups[i]` is the group (class) of row `i`; returns a
     /// `n_groups x n_columns` matrix of means.
     pub fn vis(
+        &mut self,
+        intermediate: &str,
+        groups: &[u8],
+        n_groups: usize,
+    ) -> Result<Matrix, MistiqueError> {
+        self.with_query_label("diag.vis", |sys| {
+            sys.vis_inner(intermediate, groups, n_groups)
+        })
+    }
+
+    fn vis_inner(
         &mut self,
         intermediate: &str,
         groups: &[u8],
@@ -194,6 +266,15 @@ impl Mistique {
         row: usize,
         k: usize,
     ) -> Result<Vec<(usize, f64)>, MistiqueError> {
+        self.with_query_label("diag.knn", |sys| sys.knn_inner(intermediate, row, k))
+    }
+
+    fn knn_inner(
+        &mut self,
+        intermediate: &str,
+        row: usize,
+        k: usize,
+    ) -> Result<Vec<(usize, f64)>, MistiqueError> {
         let r = self.get_intermediate(intermediate, None, None)?;
         let n = r.frame.n_rows();
         if row >= n {
@@ -220,6 +301,17 @@ impl Mistique {
         intermediate_b: &str,
         variance_frac: f64,
     ) -> Result<SvccaResult, MistiqueError> {
+        self.with_query_label("diag.svcca", |sys| {
+            sys.svcca_inner(intermediate_a, intermediate_b, variance_frac)
+        })
+    }
+
+    fn svcca_inner(
+        &mut self,
+        intermediate_a: &str,
+        intermediate_b: &str,
+        variance_frac: f64,
+    ) -> Result<SvccaResult, MistiqueError> {
         let a = self.get_intermediate(intermediate_a, None, None)?;
         let b = self.get_intermediate(intermediate_b, None, None)?;
         let ma = frame_to_matrix(&a.frame);
@@ -233,6 +325,18 @@ impl Mistique {
     /// `concept_masks[i]` is the concept mask of image `i` at the stored
     /// resolution. Returns the intersection-over-union score.
     pub fn netdissect(
+        &mut self,
+        intermediate: &str,
+        unit: usize,
+        concept_masks: &[Vec<bool>],
+        alpha: f64,
+    ) -> Result<f64, MistiqueError> {
+        self.with_query_label("diag.netdissect", |sys| {
+            sys.netdissect_inner(intermediate, unit, concept_masks, alpha)
+        })
+    }
+
+    fn netdissect_inner(
         &mut self,
         intermediate: &str,
         unit: usize,
@@ -306,6 +410,15 @@ impl Mistique {
     /// Per-row argmax over an intermediate's columns — class predictions
     /// from a softmax/logit layer.
     pub fn argmax_predictions(&mut self, intermediate: &str) -> Result<Vec<usize>, MistiqueError> {
+        self.with_query_label("diag.argmax_predictions", |sys| {
+            sys.argmax_predictions_inner(intermediate)
+        })
+    }
+
+    fn argmax_predictions_inner(
+        &mut self,
+        intermediate: &str,
+    ) -> Result<Vec<usize>, MistiqueError> {
         let r = self.get_intermediate(intermediate, None, None)?;
         let cols: Vec<Vec<f64>> = r.frame.columns().iter().map(|c| c.data.to_f64()).collect();
         if cols.is_empty() {
@@ -334,6 +447,17 @@ impl Mistique {
         labels: &[u8],
         n_classes: usize,
     ) -> Result<Vec<Vec<usize>>, MistiqueError> {
+        self.with_query_label("diag.confusion_matrix", |sys| {
+            sys.confusion_matrix_inner(intermediate, labels, n_classes)
+        })
+    }
+
+    fn confusion_matrix_inner(
+        &mut self,
+        intermediate: &str,
+        labels: &[u8],
+        n_classes: usize,
+    ) -> Result<Vec<Vec<usize>>, MistiqueError> {
         let preds = self.argmax_predictions(intermediate)?;
         let mut m = vec![vec![0usize; n_classes]; n_classes];
         for (i, &p) in preds.iter().enumerate().take(labels.len()) {
@@ -350,6 +474,12 @@ impl Mistique {
 
     /// Classification accuracy against labels (argmax of the intermediate).
     pub fn accuracy(&mut self, intermediate: &str, labels: &[u8]) -> Result<f64, MistiqueError> {
+        self.with_query_label("diag.accuracy", |sys| {
+            sys.accuracy_inner(intermediate, labels)
+        })
+    }
+
+    fn accuracy_inner(&mut self, intermediate: &str, labels: &[u8]) -> Result<f64, MistiqueError> {
         let preds = self.argmax_predictions(intermediate)?;
         let n = preds.len().min(labels.len());
         if n == 0 {
@@ -365,6 +495,17 @@ impl Mistique {
     /// [`Mistique::get_rows`] to fetch the matching examples from any other
     /// intermediate.
     pub fn select_where_gt(
+        &mut self,
+        intermediate: &str,
+        column: &str,
+        threshold: f64,
+    ) -> Result<Vec<usize>, MistiqueError> {
+        self.with_query_label("diag.select_where_gt", |sys| {
+            sys.select_where_gt_inner(intermediate, column, threshold)
+        })
+    }
+
+    fn select_where_gt_inner(
         &mut self,
         intermediate: &str,
         column: &str,
@@ -389,6 +530,16 @@ impl Mistique {
         intermediate: &str,
         k: usize,
     ) -> Result<(Matrix, f64), MistiqueError> {
+        self.with_query_label("diag.pca_projection", |sys| {
+            sys.pca_projection_inner(intermediate, k)
+        })
+    }
+
+    fn pca_projection_inner(
+        &mut self,
+        intermediate: &str,
+        k: usize,
+    ) -> Result<(Matrix, f64), MistiqueError> {
         let r = self.get_intermediate(intermediate, None, None)?;
         let m = frame_to_matrix(&r.frame);
         if k == 0 || k > m.cols() {
@@ -406,6 +557,18 @@ impl Mistique {
     /// grouped by type of house"). Returns `(group, mean, count)` rows for
     /// groups 0..n_groups.
     pub fn group_metric(
+        &mut self,
+        intermediate: &str,
+        column: &str,
+        groups: &[u8],
+        n_groups: usize,
+    ) -> Result<Vec<(usize, f64, usize)>, MistiqueError> {
+        self.with_query_label("diag.group_metric", |sys| {
+            sys.group_metric_inner(intermediate, column, groups, n_groups)
+        })
+    }
+
+    fn group_metric_inner(
         &mut self,
         intermediate: &str,
         column: &str,

@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 use mistique_dataframe::DataFrame;
 use mistique_nn::model::activation_to_frame;
 use mistique_nn::{ArchConfig, CifarLike, Model};
+use mistique_obs::Obs;
 use mistique_pipeline::{Pipeline, ZillowData};
 
 use crate::metadata::ModelKind;
@@ -103,11 +104,40 @@ impl ModelSource {
     /// forward, over the first `n_ex` examples (DNN only; TRAD pipelines
     /// always run over their full tables, as in the paper's evaluation).
     pub fn recreate(&self, stage_index: usize, n_ex: Option<usize>) -> RecreatedIntermediate {
+        self.recreate_inner(stage_index, n_ex, None)
+    }
+
+    /// [`ModelSource::recreate`] with tracing: model load and stage/layer
+    /// execution become child spans of whatever span is active on the
+    /// calling thread (e.g. the reader's `fetch.rerun`).
+    pub fn recreate_traced(
+        &self,
+        stage_index: usize,
+        n_ex: Option<usize>,
+        obs: &Obs,
+    ) -> RecreatedIntermediate {
+        self.recreate_inner(stage_index, n_ex, Some(obs))
+    }
+
+    fn recreate_inner(
+        &self,
+        stage_index: usize,
+        n_ex: Option<usize>,
+        obs: Option<&Obs>,
+    ) -> RecreatedIntermediate {
         match self {
             ModelSource::Trad { pipeline, data } => {
+                let sp = obs.map(|o| {
+                    let mut s = o.span("exec.run_stages");
+                    s.attr("model", &pipeline.id).attr("stage", stage_index);
+                    s
+                });
                 let t0 = Instant::now();
                 let records = pipeline.run_to(data, stage_index);
                 let exec_time = t0.elapsed();
+                if let Some(s) = sp {
+                    s.finish();
+                }
                 let frame = records
                     .into_iter()
                     .last()
@@ -126,15 +156,31 @@ impl ModelSource {
                 data,
                 batch_size,
             } => {
+                let sp_load = obs.map(|o| {
+                    let mut s = o.span("exec.model_load");
+                    s.attr("model", self.id());
+                    s
+                });
                 let t0 = Instant::now();
                 let model = Model::build(arch, *seed, *epoch);
                 let model_load = t0.elapsed();
+                if let Some(s) = sp_load {
+                    s.finish();
+                }
 
                 let n = n_ex.unwrap_or(data.len()).min(data.len());
                 let input = data.images.slice_examples(0, n);
+                let sp_fwd = obs.map(|o| {
+                    let mut s = o.span("exec.forward");
+                    s.attr("layer", stage_index).attr("n_ex", n);
+                    s
+                });
                 let t1 = Instant::now();
                 let out = model.forward_to_batched(&input, stage_index, *batch_size);
                 let exec_time = t1.elapsed();
+                if let Some(s) = sp_fwd {
+                    s.finish();
+                }
                 RecreatedIntermediate {
                     frame: activation_to_frame(&out),
                     model_load,

@@ -56,15 +56,17 @@ pub mod metadata;
 pub mod persist;
 pub mod qcache;
 pub mod reader;
+pub mod report;
 pub mod system;
 
 pub use capture::{CaptureScheme, ValueScheme};
-pub use cost::CostModel;
+pub use cost::{CostModel, DriftMonitor};
 // Observability (the `mistique-obs` crate) re-exported for convenience:
 // `Mistique::obs()` hands out an `Obs`, snapshots come back as `Snapshot`.
 pub use error::MistiqueError;
 pub use executor::ModelSource;
 pub use metadata::{IntermediateMeta, MetadataDb, ModelKind};
-pub use mistique_obs::{Counter, Gauge, Histogram, Obs, Snapshot, Span};
+pub use mistique_obs::{Counter, Gauge, Histogram, Obs, Snapshot, Span, SpanContext, SpanRecord};
 pub use reader::{FetchResult, FetchStrategy};
+pub use report::{PlanChoice, QueryReport, ReportRing};
 pub use system::{Mistique, MistiqueConfig, StorageStrategy};

@@ -102,7 +102,8 @@ impl Mistique {
         let manifest: Manifest = serde_json::from_str(&json)
             .map_err(|e| MistiqueError::Invalid(format!("manifest parse: {e}")))?;
 
-        let mut sys = Mistique::open_full(dir, config, mistique_obs::Obs::new(), backend)?;
+        let obs = mistique_obs::Obs::with_ring_capacity(config.span_ring_capacity);
+        let mut sys = Mistique::open_full(dir, config, obs, backend)?;
         sys.store.import_catalog(manifest.catalog);
         for m in manifest.models {
             sys.meta.register_model(m);

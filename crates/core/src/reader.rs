@@ -5,12 +5,13 @@
 use std::time::Duration;
 
 use mistique_dataframe::{Column, ColumnData, DataFrame};
-use mistique_store::ChunkKey;
+use mistique_store::{ChunkKey, ReadAttribution};
 
 use crate::capture::{decode_column, pool_batch, CaptureScheme, ValueScheme};
 use crate::error::MistiqueError;
 use crate::executor::ModelSource;
 use crate::metadata::ModelKind;
+use crate::report::{PlanChoice, QueryReport};
 use crate::system::{Mistique, StorageStrategy};
 
 /// How a fetch was satisfied.
@@ -49,7 +50,7 @@ impl Mistique {
         columns: Option<&[&str]>,
         n_ex: Option<usize>,
     ) -> Result<FetchResult, MistiqueError> {
-        let (can_read, should_read, n_effective) = {
+        let (can_read, should_read, n_effective, predicted_read, predicted_rerun, scheme, bound) = {
             let meta = self
                 .meta
                 .intermediate(intermediate_id)
@@ -59,7 +60,15 @@ impl Mistique {
                 .model(&meta.model_id)
                 .ok_or_else(|| MistiqueError::UnknownModel(meta.model_id.clone()))?;
             let n = n_ex.unwrap_or(meta.n_rows).min(meta.n_rows);
-            (meta.materialized, self.cost.should_read(model, meta, n), n)
+            (
+                meta.materialized,
+                self.cost.should_read(model, meta, n),
+                n,
+                self.cost.t_read(meta, n),
+                self.cost.t_rerun(model, meta, n),
+                meta.scheme.name(),
+                meta.scheme.value.error_bound(),
+            )
         };
         // Session query cache: serve repeated identical fetches directly.
         // The key carries the clamped row count (the same one the cost model
@@ -67,8 +76,33 @@ impl Mistique {
         // which all return the identical frame — share a single entry.
         let cache_key = crate::qcache::CacheKey::new(intermediate_id, columns, Some(n_effective));
         if let Some(frame) = self.qcache.get(&cache_key) {
+            let mut sp = self.obs.span("fetch.cached");
+            sp.attr("interm", intermediate_id).attr("n_ex", n_effective);
+            let trace_id = sp.trace_id();
+            let actual = sp.finish();
             self.obs.counter("decision.cached.count").inc();
             self.meta.bump_queries(intermediate_id);
+            let query = self
+                .query_label
+                .clone()
+                .unwrap_or_else(|| "fetch".to_string());
+            self.push_report(QueryReport {
+                seq: 0,
+                query,
+                intermediate: intermediate_id.to_string(),
+                plan: PlanChoice::Cached,
+                predicted_read_s: predicted_read,
+                predicted_rerun_s: predicted_rerun,
+                actual,
+                n_ex: n_effective,
+                cache_hit: true,
+                attribution: ReadAttribution::default(),
+                scheme,
+                error_bound: bound,
+                trace_id,
+                drift_ratio: None,
+                drift_flagged: false,
+            });
             return Ok(FetchResult {
                 frame,
                 strategy: FetchStrategy::Cached,
@@ -132,9 +166,13 @@ impl Mistique {
                 ))
             }
         };
+        // Attribute this fetch's DataStore activity by diffing the store's
+        // cumulative read counters around the fetch.
+        let store_before = self.store.read_attribution();
         // The span is the fetch timer (one source of truth for fetch_time).
         let mut sp = self.obs.span(span_name);
         sp.attr("interm", intermediate_id).attr("n_ex", n);
+        let trace_id = sp.trace_id();
         let frame = match strategy {
             FetchStrategy::Read => {
                 if !meta.materialized {
@@ -177,6 +215,46 @@ impl Mistique {
         self.obs
             .histogram(&format!("decision.{decision}.actual_ns"))
             .record_duration(fetch_time);
+
+        // Fold the prediction into the drift monitor and flag miscalibration.
+        let (drift_ratio, drift_flagged) = self.drift.observe(decision, predicted, fetch_time);
+        self.obs
+            .gauge("cost_model.drift")
+            .set(self.drift.worst_drift());
+        if drift_flagged {
+            self.obs.counter("cost_model.drift_flags").inc();
+        }
+
+        // Re-runs always serve freshly computed full-precision values; reads
+        // serve whatever scheme the intermediate was stored under.
+        let (scheme, error_bound) = match strategy {
+            FetchStrategy::Read => (meta.scheme.name(), meta.scheme.value.error_bound()),
+            _ => (CaptureScheme::full().name(), Some(0.0)),
+        };
+        let query = self
+            .query_label
+            .clone()
+            .unwrap_or_else(|| "fetch".to_string());
+        self.push_report(QueryReport {
+            seq: 0,
+            query,
+            intermediate: intermediate_id.to_string(),
+            plan: match strategy {
+                FetchStrategy::Read => PlanChoice::Read,
+                _ => PlanChoice::Rerun,
+            },
+            predicted_read_s: predicted_read,
+            predicted_rerun_s: predicted_rerun,
+            actual: fetch_time,
+            n_ex: n,
+            cache_hit: false,
+            attribution: self.store.read_attribution().since(&store_before),
+            scheme,
+            error_bound,
+            trace_id,
+            drift_ratio: Some(drift_ratio),
+            drift_flagged,
+        });
 
         self.meta.bump_queries(intermediate_id);
         Ok(FetchResult {
@@ -247,8 +325,17 @@ impl Mistique {
         blocks.sort_unstable();
         blocks.dedup();
 
+        let (predicted_read, predicted_rerun) = match self.meta.model(&meta.model_id) {
+            Some(model) => (
+                self.cost.t_read(&meta, rows.len()),
+                self.cost.t_rerun(model, &meta, rows.len()),
+            ),
+            None => (0.0, 0.0),
+        };
+        let store_before = self.store.read_attribution();
         let mut sp = self.obs.span("fetch.rows");
         sp.attr("interm", intermediate_id).attr("rows", rows.len());
+        let trace_id = sp.trace_id();
         // Fetch + decode only the touched blocks (possibly in parallel).
         let per_col = self.read_column_blocks(&meta, &wanted, &blocks)?;
         let mut out_cols = Vec::with_capacity(wanted.len());
@@ -259,6 +346,27 @@ impl Mistique {
             out_cols.push(Column::f64(name.clone(), values));
         }
         let fetch_time = sp.finish();
+        let query = self
+            .query_label
+            .clone()
+            .unwrap_or_else(|| "fetch".to_string());
+        self.push_report(QueryReport {
+            seq: 0,
+            query,
+            intermediate: intermediate_id.to_string(),
+            plan: PlanChoice::Read,
+            predicted_read_s: predicted_read,
+            predicted_rerun_s: predicted_rerun,
+            actual: fetch_time,
+            n_ex: rows.len(),
+            cache_hit: false,
+            attribution: self.store.read_attribution().since(&store_before),
+            scheme: meta.scheme.name(),
+            error_bound: meta.scheme.value.error_bound(),
+            trace_id,
+            drift_ratio: None,
+            drift_flagged: false,
+        });
         self.meta.bump_queries(intermediate_id);
         Ok(FetchResult {
             frame: DataFrame::from_columns(out_cols),
@@ -327,15 +435,25 @@ impl Mistique {
         let per_col = blocks.len();
         let value = meta.scheme.value;
         let quantizer = meta.quantizer.as_deref();
+        // Capture the calling span before any fan-out so per-column decode
+        // spans parent identically whether decode runs serial or on workers.
+        let obs = self.obs.clone();
+        let ctx = obs.current_context();
+        let obs = &obs;
+        let ctx = ctx.as_ref();
         let decode_col = |ci: usize| -> Result<Vec<Vec<f64>>, MistiqueError> {
-            raw[ci * per_col..(ci + 1) * per_col]
+            let mut sp = obs.span_with_parent("fetch.decode", ctx);
+            sp.attr("col", &wanted[ci]).attr("blocks", per_col);
+            let decoded = raw[ci * per_col..(ci + 1) * per_col]
                 .iter()
                 .map(|bytes| {
                     let chunk = mistique_dataframe::ColumnChunk::from_bytes(bytes)
                         .map_err(mistique_store::StoreError::from)?;
                     Ok(decode_column(&chunk.data, value, quantizer))
                 })
-                .collect()
+                .collect();
+            sp.finish();
+            decoded
         };
 
         let decode_workers = workers.max(1).min(n_cols);
@@ -384,12 +502,13 @@ impl Mistique {
         n: usize,
     ) -> Result<DataFrame, MistiqueError> {
         let meta = self.meta.intermediate(intermediate_id).unwrap().clone();
-        let recreated = source.recreate(
+        let recreated = source.recreate_traced(
             meta.stage_index,
             match source.kind() {
                 ModelKind::Trad => None,
                 ModelKind::Dnn => Some(n),
             },
+            &self.obs,
         );
         let mut frame = recreated.frame;
 

@@ -1,0 +1,296 @@
+//! Per-query EXPLAIN reports: every diagnostic fetch records what the cost
+//! model predicted, which plan the planner chose, and where the time and
+//! bytes actually went — the per-query counterpart of the aggregate
+//! counters in `mistique-obs`.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use mistique_store::ReadAttribution;
+
+/// Which plan served a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanChoice {
+    /// Stored chunks were read back (Eq 4 won).
+    Read,
+    /// The model was re-run (Eq 2/3 won, or reading was impossible).
+    Rerun,
+    /// The session query cache served the result outright.
+    Cached,
+}
+
+impl PlanChoice {
+    /// Lower-case plan name (`read` / `rerun` / `cached`), also used as the
+    /// drift-monitor query class.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlanChoice::Read => "read",
+            PlanChoice::Rerun => "rerun",
+            PlanChoice::Cached => "cached",
+        }
+    }
+}
+
+/// The EXPLAIN record of one fetch. Produced for every
+/// `Mistique::get_intermediate` / `get_rows` call — and therefore for every
+/// `Diagnostics` query — and kept in a bounded ring
+/// (`MistiqueConfig::report_retention`).
+#[derive(Clone, Debug)]
+pub struct QueryReport {
+    /// Monotone sequence number within the session.
+    pub seq: u64,
+    /// The diagnostic query that issued the fetch (e.g. `diag.topk`), or
+    /// `fetch` for direct API calls.
+    pub query: String,
+    /// The intermediate served.
+    pub intermediate: String,
+    /// The plan that served the query.
+    pub plan: PlanChoice,
+    /// Cost-model prediction for reading stored chunks, in seconds (Eq 4).
+    pub predicted_read_s: f64,
+    /// Cost-model prediction for re-running the model, in seconds (Eq 2/3).
+    pub predicted_rerun_s: f64,
+    /// Actual wall time of the fetch.
+    pub actual: Duration,
+    /// Rows served.
+    pub n_ex: usize,
+    /// Whether the session query cache served the fetch.
+    pub cache_hit: bool,
+    /// DataStore activity attributed to this fetch (already diffed: just
+    /// this query's gets/bytes/partitions/codec breakdown).
+    pub attribution: ReadAttribution,
+    /// Quantization scheme of the intermediate served (e.g. `FULL`,
+    /// `8BIT_QT`, `POOL_QT(2)+FULL`). Re-runs serve full precision.
+    pub scheme: String,
+    /// Worst-case per-value error bound of that scheme when statically
+    /// known: `Some(0.0)` is lossless, `None` is data-dependent (KBIT
+    /// quantile bins, THRESHOLD binarization).
+    pub error_bound: Option<f64>,
+    /// Trace id of the fetch's root span — the key into
+    /// `Mistique::render_trace` / the Perfetto export for this query's tree.
+    pub trace_id: u64,
+    /// Smoothed predicted/actual ratio of this query's class after folding
+    /// this observation in (`None` when the fetch was not drift-monitored,
+    /// e.g. cache hits).
+    pub drift_ratio: Option<f64>,
+    /// Whether the drift monitor considered the class miscalibrated at this
+    /// query.
+    pub drift_flagged: bool,
+}
+
+impl QueryReport {
+    /// Render the report as a small aligned text block.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(512);
+        let _ = writeln!(
+            out,
+            "query #{} {} on {}",
+            self.seq, self.query, self.intermediate
+        );
+        let _ = writeln!(
+            out,
+            "  plan     : {}  (predicted read {}, rerun {})",
+            self.plan.name(),
+            fmt_secs(self.predicted_read_s),
+            fmt_secs(self.predicted_rerun_s),
+        );
+        let _ = writeln!(
+            out,
+            "  actual   : {}  rows={}  cache_hit={}",
+            fmt_secs(self.actual.as_secs_f64()),
+            self.n_ex,
+            self.cache_hit
+        );
+        let a = &self.attribution;
+        let _ = writeln!(
+            out,
+            "  store    : {} gets, {} B, partitions={} (mem={} cache={} disk={})",
+            a.gets, a.bytes, a.partitions_touched, a.mem_hits, a.cache_hits, a.disk_reads
+        );
+        if !a.codec_bytes.is_empty() {
+            let _ = write!(out, "  codecs   :");
+            for (codec, bytes) in &a.codec_bytes {
+                let _ = write!(out, " {codec}={bytes}B");
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "  scheme   : {}  error_bound={}",
+            self.scheme,
+            match self.error_bound {
+                Some(b) => format!("{b}"),
+                None => "data-dependent".to_string(),
+            }
+        );
+        match self.drift_ratio {
+            Some(r) => {
+                let _ = writeln!(
+                    out,
+                    "  drift    : ratio {:.3} ({})",
+                    r,
+                    if self.drift_flagged {
+                        "MISCALIBRATED"
+                    } else {
+                        "ok"
+                    }
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  drift    : not monitored for this plan");
+            }
+        }
+        let _ = writeln!(out, "  trace    : {}", self.trace_id);
+        out
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if !s.is_finite() {
+        format!("{s}")
+    } else if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Bounded ring of recent [`QueryReport`]s, oldest first.
+#[derive(Debug)]
+pub struct ReportRing {
+    ring: VecDeque<QueryReport>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+impl ReportRing {
+    /// A ring retaining up to `capacity` reports (0 disables retention;
+    /// sequence numbers still advance).
+    pub fn new(capacity: usize) -> ReportRing {
+        ReportRing {
+            ring: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            next_seq: 0,
+        }
+    }
+
+    /// Stamp the report with the next sequence number and retain it.
+    /// Returns the assigned sequence number.
+    pub(crate) fn push(&mut self, mut report: QueryReport) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        report.seq = seq;
+        if self.capacity == 0 {
+            return seq;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(report);
+        seq
+    }
+
+    /// The most recent report.
+    pub fn last(&self) -> Option<&QueryReport> {
+        self.ring.back()
+    }
+
+    /// Up to the last `n` reports, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<&QueryReport> {
+        let skip = self.ring.len().saturating_sub(n);
+        self.ring.iter().skip(skip).collect()
+    }
+
+    /// Number of retained reports.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no reports are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(intermediate: &str) -> QueryReport {
+        QueryReport {
+            seq: 0,
+            query: "diag.topk".to_string(),
+            intermediate: intermediate.to_string(),
+            plan: PlanChoice::Read,
+            predicted_read_s: 0.0012,
+            predicted_rerun_s: 0.4,
+            actual: Duration::from_micros(1800),
+            n_ex: 5000,
+            cache_hit: false,
+            attribution: ReadAttribution {
+                gets: 11,
+                bytes: 88_200,
+                mem_hits: 0,
+                cache_hits: 9,
+                disk_reads: 2,
+                partitions_touched: 2,
+                codec_bytes: vec![("rle".to_string(), 40_000)],
+            },
+            scheme: "FULL".to_string(),
+            error_bound: Some(0.0),
+            trace_id: 42,
+            drift_ratio: Some(0.667),
+            drift_flagged: false,
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let r = report("m1.interm5");
+        let text = r.render();
+        assert!(text.contains("diag.topk"));
+        assert!(text.contains("m1.interm5"));
+        assert!(text.contains("plan     : read"));
+        assert!(text.contains("rows=5000"));
+        assert!(text.contains("partitions=2"));
+        assert!(text.contains("rle=40000B"));
+        assert!(text.contains("FULL"));
+        assert!(text.contains("ratio 0.667 (ok)"));
+        assert!(text.contains("trace    : 42"));
+    }
+
+    #[test]
+    fn ring_bounds_and_sequences() {
+        let mut ring = ReportRing::new(2);
+        assert!(ring.is_empty());
+        for i in 0..5 {
+            let seq = ring.push(report(&format!("i{i}")));
+            assert_eq!(seq, i);
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.capacity(), 2);
+        let recent = ring.recent(10);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].intermediate, "i3");
+        assert_eq!(recent[1].intermediate, "i4");
+        assert_eq!(ring.last().unwrap().seq, 4);
+        assert_eq!(ring.recent(1).len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_ring_keeps_nothing_but_counts() {
+        let mut ring = ReportRing::new(0);
+        assert_eq!(ring.push(report("a")), 0);
+        assert_eq!(ring.push(report("b")), 1);
+        assert!(ring.is_empty());
+        assert!(ring.last().is_none());
+    }
+}

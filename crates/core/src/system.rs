@@ -60,6 +60,18 @@ pub struct MistiqueConfig {
     /// `0` means one worker per available CPU. The assembled frames are
     /// byte-identical at every setting — only wall-clock changes.
     pub read_parallelism: usize,
+    /// Capacity of the span tracer's ring of completed spans — how much
+    /// trace history `mistique explain` / the Perfetto export can see.
+    /// Only honoured by [`Mistique::open`] / [`Mistique::open_with_backend`]
+    /// / [`Mistique::reopen`]; `open_with_obs` keeps the caller's ring.
+    pub span_ring_capacity: usize,
+    /// How many [`crate::report::QueryReport`]s the session retains
+    /// (0 disables retention; reports are still produced and drift-monitored).
+    pub report_retention: usize,
+    /// Drift-monitor tolerance: a query class is flagged as miscalibrated
+    /// when its smoothed predicted/actual ratio leaves
+    /// `[1/tolerance, tolerance]`.
+    pub drift_tolerance: f64,
 }
 
 impl Default for MistiqueConfig {
@@ -71,6 +83,9 @@ impl Default for MistiqueConfig {
             datastore: DataStoreConfig::default(),
             query_cache_bytes: 0,
             read_parallelism: 1,
+            span_ring_capacity: mistique_obs::DEFAULT_RING_CAPACITY,
+            report_retention: 64,
+            drift_tolerance: 4.0,
         }
     }
 }
@@ -97,13 +112,22 @@ pub struct Mistique {
     pub(crate) backend: Arc<dyn StorageBackend>,
     /// Report of the recovery pass run by [`Mistique::reopen`], if any.
     pub(crate) last_recovery: Option<RecoveryReport>,
+    /// Ring of per-query EXPLAIN reports (`mistique explain`).
+    pub(crate) reports: crate::report::ReportRing,
+    /// EWMA monitor of cost-model prediction quality per query class.
+    pub(crate) drift: crate::cost::DriftMonitor,
+    /// Label of the diagnostic query currently executing, if any — set by
+    /// `with_query_label` so the reader can attribute fetches to the
+    /// outermost diagnostic (`diag.topk`, …) instead of a bare `fetch`.
+    pub(crate) query_label: Option<String>,
 }
 
 impl Mistique {
     /// Open a MISTIQUE instance persisting under `dir`, with a fresh
     /// observability registry.
     pub fn open(dir: impl AsRef<Path>, config: MistiqueConfig) -> Result<Mistique, MistiqueError> {
-        Self::open_with_obs(dir, config, Obs::new())
+        let obs = Obs::with_ring_capacity(config.span_ring_capacity);
+        Self::open_with_obs(dir, config, obs)
     }
 
     /// Open a MISTIQUE instance that reports into an existing [`Obs`] —
@@ -124,7 +148,8 @@ impl Mistique {
         config: MistiqueConfig,
         backend: Arc<dyn StorageBackend>,
     ) -> Result<Mistique, MistiqueError> {
-        Self::open_full(dir, config, Obs::new(), backend)
+        let obs = Obs::with_ring_capacity(config.span_ring_capacity);
+        Self::open_full(dir, config, obs, backend)
     }
 
     pub(crate) fn open_full(
@@ -138,6 +163,8 @@ impl Mistique {
         store.set_obs(&obs);
         let mut qcache = crate::qcache::QueryCache::new(config.query_cache_bytes);
         qcache.attach_obs(&obs);
+        let reports = crate::report::ReportRing::new(config.report_retention);
+        let drift = crate::cost::DriftMonitor::new(0.2, config.drift_tolerance);
         Ok(Mistique {
             dir: dir.as_ref().to_path_buf(),
             config,
@@ -151,6 +178,9 @@ impl Mistique {
             obs,
             backend,
             last_recovery: None,
+            reports,
+            drift,
+            query_label: None,
         })
     }
 
@@ -310,6 +340,67 @@ impl Mistique {
         self.obs
             .gauge("meta.models")
             .set_u64(self.meta.model_ids().len() as u64);
+        self.obs
+            .gauge("cost_model.drift")
+            .set(self.drift.worst_drift());
+    }
+
+    /// Up to the last `n` per-query EXPLAIN reports, oldest first.
+    pub fn query_reports(&self, n: usize) -> Vec<crate::report::QueryReport> {
+        self.reports.recent(n).into_iter().cloned().collect()
+    }
+
+    /// The EXPLAIN report of the most recent query, if any is retained.
+    pub fn last_report(&self) -> Option<&crate::report::QueryReport> {
+        self.reports.last()
+    }
+
+    /// The cost-model drift monitor (per-class predicted/actual EWMA).
+    pub fn drift_monitor(&self) -> &crate::cost::DriftMonitor {
+        &self.drift
+    }
+
+    /// Retain a finished query report (reader paths call this).
+    pub(crate) fn push_report(&mut self, report: crate::report::QueryReport) {
+        self.reports.push(report);
+    }
+
+    /// Run `f` under a diagnostic query label: fetches issued inside are
+    /// attributed to `label` in their [`crate::report::QueryReport`]s. The
+    /// outermost label wins when diagnostics nest (e.g. `confusion_matrix`
+    /// delegating to `argmax_predictions`).
+    pub(crate) fn with_query_label<T>(
+        &mut self,
+        label: &str,
+        f: impl FnOnce(&mut Mistique) -> T,
+    ) -> T {
+        let outer = self.query_label.clone();
+        if outer.is_none() {
+            self.query_label = Some(label.to_string());
+        }
+        let out = f(self);
+        self.query_label = outer;
+        out
+    }
+
+    /// Render the hierarchical span tree of one trace (e.g. a report's
+    /// `trace_id`) from the tracer's ring of recent spans.
+    pub fn render_trace(&self, trace_id: u64) -> String {
+        let spans = self.obs.snapshot().recent_spans;
+        let roots = mistique_obs::tree::trace_trees(&spans, trace_id);
+        mistique_obs::render_trees(&roots)
+    }
+
+    /// The tracer's recent spans exported as Chrome-trace / Perfetto JSON
+    /// (load via `ui.perfetto.dev` or `chrome://tracing`).
+    pub fn perfetto_json(&self) -> String {
+        mistique_obs::chrome_trace_json(&self.obs.snapshot().recent_spans)
+    }
+
+    /// The tracer's recent spans folded into flamegraph collapsed-stack
+    /// lines (`flamegraph.pl` / `inferno-flamegraph` input).
+    pub fn flamegraph_folded(&self) -> String {
+        mistique_obs::folded_stacks(&self.obs.snapshot().recent_spans)
     }
 
     /// Flush open partitions to disk.

@@ -166,10 +166,17 @@ impl Snapshot {
                 Some(p) => push_json_string(&mut out, p),
                 None => out.push_str("null"),
             }
+            let _ = write!(out, ",\"id\":{},\"parent_id\":", r.id);
+            match r.parent_id {
+                Some(p) => {
+                    let _ = write!(out, "{p}");
+                }
+                None => out.push_str("null"),
+            }
             let _ = write!(
                 out,
-                ",\"start_ns\":{},\"dur_ns\":{},\"attrs\":{{",
-                r.start_ns, r.dur_ns
+                ",\"trace_id\":{},\"thread\":{},\"start_ns\":{},\"dur_ns\":{},\"attrs\":{{",
+                r.trace_id, r.thread, r.start_ns, r.dur_ns
             );
             for (j, (k, v)) in r.attrs.iter().enumerate() {
                 if j > 0 {
@@ -214,7 +221,7 @@ fn push_f64(out: &mut String, v: f64) {
 }
 
 /// Escape and quote a JSON string.
-fn push_json_string(out: &mut String, s: &str) {
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -233,7 +240,7 @@ fn push_json_string(out: &mut String, s: &str) {
 }
 
 /// Format nanoseconds with adaptive units for the text report.
-fn fmt_ns(ns: u64) -> String {
+pub(crate) fn fmt_ns(ns: u64) -> String {
     let s = ns as f64 / 1e9;
     if s >= 1.0 {
         format!("{s:.3}s")

@@ -23,14 +23,20 @@
 //! ```
 
 mod export;
+mod flame;
 mod hist;
 mod metrics;
+mod perfetto;
 mod span;
+pub mod tree;
 
 pub use export::Snapshot;
+pub use flame::folded_stacks;
 pub use hist::{HistSummary, Histogram};
 pub use metrics::{Counter, Gauge};
-pub use span::{Span, SpanRecord, SpanSummary};
+pub use perfetto::chrome_trace_json;
+pub use span::{Span, SpanContext, SpanRecord, SpanSummary, DEFAULT_RING_CAPACITY};
+pub use tree::{build_trees, render_trees, SpanNode};
 
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
@@ -63,14 +69,26 @@ impl Obs {
     /// A fresh, empty registry. The creation instant becomes the epoch for
     /// span start timestamps.
     pub fn new() -> Obs {
+        Obs::with_ring_capacity(span::DEFAULT_RING_CAPACITY)
+    }
+
+    /// Like [`Obs::new`], with an explicit capacity for the ring buffer of
+    /// recent finished spans (clamped to at least 1). Aggregates keep
+    /// counting past the ring either way.
+    pub fn with_ring_capacity(capacity: usize) -> Obs {
         Obs {
             inner: Arc::new(Inner {
                 counters: RwLock::new(HashMap::new()),
                 gauges: RwLock::new(HashMap::new()),
                 hists: RwLock::new(HashMap::new()),
-                tracer: Arc::new(Tracer::new(Instant::now(), span::DEFAULT_RING_CAPACITY)),
+                tracer: Arc::new(Tracer::new(Instant::now(), capacity.max(1))),
             }),
         }
+    }
+
+    /// Capacity of the recent-spans ring buffer.
+    pub fn ring_capacity(&self) -> usize {
+        self.inner.tracer.capacity()
     }
 
     /// Get or create the counter named `name`. Cache the returned handle on
@@ -111,9 +129,23 @@ impl Obs {
     }
 
     /// Start a timed span. Finish it with [`Span::finish`] to get the
-    /// duration back, or just let it drop.
+    /// duration back, or just let it drop. The parent is the innermost
+    /// span of this `Obs` active on the current thread.
     pub fn span(&self, name: &str) -> Span {
         Span::begin(Arc::clone(&self.inner.tracer), name)
+    }
+
+    /// Start a timed span under an explicit parent, for linking work done
+    /// on other threads (capture the parent with [`Obs::current_context`]
+    /// before spawning). `None` starts a fresh trace root.
+    pub fn span_with_parent(&self, name: &str, parent: Option<&SpanContext>) -> Span {
+        Span::begin_with_parent(Arc::clone(&self.inner.tracer), name, parent)
+    }
+
+    /// The identity of the innermost span of this `Obs` active on the
+    /// current thread, if any.
+    pub fn current_context(&self) -> Option<SpanContext> {
+        span::current_context(&self.inner.tracer)
     }
 
     /// The most recently finished spans, oldest first (bounded ring).

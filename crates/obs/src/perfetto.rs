@@ -1,0 +1,86 @@
+//! Chrome-trace JSON export, loadable by Perfetto (<https://ui.perfetto.dev>)
+//! and `chrome://tracing`.
+//!
+//! Each finished span becomes one complete event (`"ph":"X"`) on its
+//! thread's track; span ids, trace ids, parent links, and attributes ride
+//! along in `args`. Timestamps are microseconds since the owning `Obs` was
+//! created, with nanosecond precision kept as a fractional part.
+
+use std::fmt::Write as _;
+
+use crate::export::push_json_string;
+use crate::span::SpanRecord;
+
+/// Serialize spans as a Chrome-trace JSON document (object form, with a
+/// `traceEvents` array holding one `"ph":"X"` event per span).
+pub fn chrome_trace_json(records: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(64 + records.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        push_json_string(&mut out, &r.name);
+        out.push_str(",\"cat\":\"mistique\",\"ph\":\"X\",\"pid\":1");
+        let _ = write!(out, ",\"tid\":{}", r.thread);
+        // The trace event format counts in microseconds; keep the
+        // sub-microsecond part as a decimal fraction.
+        let _ = write!(
+            out,
+            ",\"ts\":{}.{:03}",
+            r.start_ns / 1_000,
+            r.start_ns % 1_000
+        );
+        let _ = write!(out, ",\"dur\":{}.{:03}", r.dur_ns / 1_000, r.dur_ns % 1_000);
+        let _ = write!(
+            out,
+            ",\"args\":{{\"span_id\":{},\"trace_id\":{}",
+            r.id, r.trace_id
+        );
+        if let Some(p) = r.parent_id {
+            let _ = write!(out, ",\"parent_id\":{p}");
+        }
+        for (k, v) in &r.attrs {
+            out.push(',');
+            push_json_string(&mut out, k);
+            out.push(':');
+            push_json_string(&mut out, v);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    #[test]
+    fn emits_one_complete_event_per_span() {
+        let obs = Obs::new();
+        {
+            let mut root = obs.span("fetch.read");
+            root.attr("interm", "m1.\"s3\"");
+            drop(obs.span("fetch.decode"));
+        }
+        let records = obs.recent_spans();
+        let json = chrome_trace_json(&records);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), records.len());
+        assert!(json.contains("\"name\":\"fetch.read\""));
+        assert!(json.contains("\\\"s3\\\"")); // attr values escaped
+        assert!(json.contains("\"parent_id\":")); // decode links to read
+    }
+
+    #[test]
+    fn empty_input_is_still_valid() {
+        assert_eq!(
+            chrome_trace_json(&[]),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+    }
+}

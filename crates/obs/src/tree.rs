@@ -1,0 +1,217 @@
+//! Reassemble finished [`SpanRecord`]s into hierarchical trees.
+//!
+//! Records carry `id`/`parent_id`/`trace_id`, so a flat dump of the recent
+//! ring can be rebuilt into per-trace trees regardless of which thread each
+//! span ran on. A record whose parent is missing from the input (evicted
+//! from the bounded ring, or simply not selected) becomes a root — trees
+//! degrade gracefully instead of dropping spans.
+
+use std::collections::HashMap;
+
+use crate::export::fmt_ns;
+use crate::span::SpanRecord;
+
+/// One node of a reassembled span tree.
+#[derive(Clone, Debug)]
+pub struct SpanNode {
+    /// The finished span at this node.
+    pub record: SpanRecord,
+    /// Child spans, ordered by start time.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Wall time of this span including children.
+    pub fn total_ns(&self) -> u64 {
+        self.record.dur_ns
+    }
+
+    /// Wall time not covered by direct children. Parallel children can
+    /// overlap and sum past the parent; this saturates at zero then.
+    pub fn self_ns(&self) -> u64 {
+        let child_ns: u64 = self.children.iter().map(|c| c.record.dur_ns).sum();
+        self.record.dur_ns.saturating_sub(child_ns)
+    }
+}
+
+/// Build trees from a flat set of records. Roots (and children within each
+/// node) are ordered by start time, ties broken by span id.
+pub fn build_trees(records: &[SpanRecord]) -> Vec<SpanNode> {
+    let by_id: HashMap<u64, usize> = records.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); records.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, r) in records.iter().enumerate() {
+        match r.parent_id.and_then(|p| by_id.get(&p).copied()) {
+            Some(pi) if pi != i => children[pi].push(i),
+            _ => roots.push(i),
+        }
+    }
+    roots.sort_by_key(|&i| (records[i].start_ns, records[i].id));
+    for c in &mut children {
+        c.sort_by_key(|&i| (records[i].start_ns, records[i].id));
+    }
+    // Span ids increase in creation order and a parent is always created
+    // before its children, so parent_id < id: the parent links are acyclic
+    // and this recursion terminates.
+    fn assemble(i: usize, records: &[SpanRecord], children: &[Vec<usize>]) -> SpanNode {
+        SpanNode {
+            record: records[i].clone(),
+            children: children[i]
+                .iter()
+                .map(|&c| assemble(c, records, children))
+                .collect(),
+        }
+    }
+    roots
+        .into_iter()
+        .map(|i| assemble(i, records, &children))
+        .collect()
+}
+
+/// Build the tree(s) of one trace only.
+pub fn trace_trees(records: &[SpanRecord], trace_id: u64) -> Vec<SpanNode> {
+    let filtered: Vec<SpanRecord> = records
+        .iter()
+        .filter(|r| r.trace_id == trace_id)
+        .cloned()
+        .collect();
+    build_trees(&filtered)
+}
+
+/// Render trees as indented text, one line per span:
+///
+/// ```text
+/// fetch.read 1.882ms interm=P1_v0... n_ex=5000
+/// ├── store.partition.load 412.0us pid=3
+/// └── fetch.decode 601.3us col=pred
+/// ```
+pub fn render_trees(roots: &[SpanNode]) -> String {
+    let mut out = String::new();
+    for root in roots {
+        render_node(root, "", "", &mut out);
+    }
+    out
+}
+
+fn render_node(node: &SpanNode, line_prefix: &str, child_prefix: &str, out: &mut String) {
+    out.push_str(line_prefix);
+    out.push_str(&node.record.name);
+    out.push(' ');
+    out.push_str(&fmt_ns(node.record.dur_ns));
+    for (k, v) in &node.record.attrs {
+        out.push(' ');
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+    }
+    out.push('\n');
+    let n = node.children.len();
+    for (i, child) in node.children.iter().enumerate() {
+        let last = i + 1 == n;
+        let branch = if last { "└── " } else { "├── " };
+        let cont = if last { "    " } else { "│   " };
+        render_node(
+            child,
+            &format!("{child_prefix}{branch}"),
+            &format!("{child_prefix}{cont}"),
+            out,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    fn rec(
+        id: u64,
+        parent_id: Option<u64>,
+        trace_id: u64,
+        name: &str,
+        start_ns: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent_id,
+            trace_id,
+            thread: 1,
+            name: name.to_string(),
+            parent: None,
+            start_ns,
+            dur_ns: 100,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn builds_nested_tree_in_start_order() {
+        let records = vec![
+            rec(3, Some(1), 1, "late-child", 20),
+            rec(1, None, 1, "root", 0),
+            rec(2, Some(1), 1, "early-child", 10),
+            rec(4, Some(2), 1, "grandchild", 12),
+        ];
+        let trees = build_trees(&records);
+        assert_eq!(trees.len(), 1);
+        let root = &trees[0];
+        assert_eq!(root.record.name, "root");
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].record.name, "early-child");
+        assert_eq!(root.children[1].record.name, "late-child");
+        assert_eq!(root.children[0].children[0].record.name, "grandchild");
+    }
+
+    #[test]
+    fn orphans_become_roots() {
+        // Parent id 99 is absent (evicted from the ring).
+        let records = vec![rec(5, Some(99), 99, "orphan", 0)];
+        let trees = build_trees(&records);
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].record.name, "orphan");
+    }
+
+    #[test]
+    fn trace_trees_filters_other_traces() {
+        let records = vec![
+            rec(1, None, 1, "a", 0),
+            rec(2, None, 2, "b", 1),
+            rec(3, Some(2), 2, "b-child", 2),
+        ];
+        let trees = trace_trees(&records, 2);
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].record.name, "b");
+        assert_eq!(trees[0].children.len(), 1);
+    }
+
+    #[test]
+    fn self_ns_saturates_on_overlapping_children() {
+        let mut parent = rec(1, None, 1, "p", 0);
+        parent.dur_ns = 100;
+        let mut c1 = rec(2, Some(1), 1, "c1", 0);
+        c1.dur_ns = 80;
+        let mut c2 = rec(3, Some(1), 1, "c2", 0);
+        c2.dur_ns = 80; // overlaps c1 (parallel workers)
+        let trees = build_trees(&[parent, c1, c2]);
+        assert_eq!(trees[0].self_ns(), 0);
+        assert_eq!(trees[0].total_ns(), 100);
+    }
+
+    #[test]
+    fn renders_live_spans_with_branch_glyphs() {
+        let obs = Obs::new();
+        {
+            let mut root = obs.span("fetch.read");
+            root.attr("interm", "m1.s3");
+            drop(obs.span("store.partition.load"));
+            drop(obs.span("fetch.decode"));
+        }
+        let trees = build_trees(&obs.recent_spans());
+        assert_eq!(trees.len(), 1);
+        let text = render_trees(&trees);
+        assert!(text.contains("fetch.read"));
+        assert!(text.contains("├── store.partition.load"));
+        assert!(text.contains("└── fetch.decode"));
+        assert!(text.contains("interm=m1.s3"));
+    }
+}

@@ -3,7 +3,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use mistique_dataframe::ColumnChunk;
@@ -121,6 +121,60 @@ pub struct RecoveryReport {
     pub missing: u64,
 }
 
+/// Cumulative read-path attribution: where chunk reads were served from and
+/// how many compressed bytes came off disk per codec. Take one snapshot with
+/// [`DataStore::read_attribution`] before a fetch and one after, then
+/// [`ReadAttribution::since`] yields the activity of just that fetch.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReadAttribution {
+    /// Chunk gets issued.
+    pub gets: u64,
+    /// Serialized chunk bytes returned.
+    pub bytes: u64,
+    /// Gets served by an open partition in the buffer pool.
+    pub mem_hits: u64,
+    /// Gets served by the read cache.
+    pub cache_hits: u64,
+    /// Partition files read (and unsealed) from disk.
+    pub disk_reads: u64,
+    /// Distinct partitions consulted.
+    pub partitions_touched: u64,
+    /// Compressed bytes read off disk, per compression codec (sorted by
+    /// codec name).
+    pub codec_bytes: Vec<(String, u64)>,
+}
+
+impl ReadAttribution {
+    /// The activity between `earlier` (an older snapshot of the same store)
+    /// and `self`.
+    pub fn since(&self, earlier: &ReadAttribution) -> ReadAttribution {
+        ReadAttribution {
+            gets: self.gets.saturating_sub(earlier.gets),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+            mem_hits: self.mem_hits.saturating_sub(earlier.mem_hits),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            disk_reads: self.disk_reads.saturating_sub(earlier.disk_reads),
+            partitions_touched: self
+                .partitions_touched
+                .saturating_sub(earlier.partitions_touched),
+            codec_bytes: self
+                .codec_bytes
+                .iter()
+                .map(|(codec, v)| {
+                    let before = earlier
+                        .codec_bytes
+                        .iter()
+                        .find(|(c, _)| c == codec)
+                        .map(|(_, b)| *b)
+                        .unwrap_or(0);
+                    (codec.clone(), v.saturating_sub(before))
+                })
+                .filter(|(_, v)| *v > 0)
+                .collect(),
+        }
+    }
+}
+
 /// Result of storing one chunk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PutOutcome {
@@ -146,6 +200,7 @@ struct StoreMetrics {
     get_mem_hits: Counter,
     get_cache_hits: Counter,
     get_disk_reads: Counter,
+    get_partitions_touched: Counter,
     pool_used_bytes: Gauge,
     pool_evictions: Counter,
     read_cache_hits: Counter,
@@ -170,6 +225,7 @@ impl StoreMetrics {
             get_mem_hits: obs.counter("store.get.mem_hits"),
             get_cache_hits: obs.counter("store.get.cache_hits"),
             get_disk_reads: obs.counter("store.get.disk_reads"),
+            get_partitions_touched: obs.counter("store.get.partitions_touched"),
             pool_used_bytes: obs.gauge("store.pool.used_bytes"),
             pool_evictions: obs.counter("store.pool.evictions"),
             read_cache_hits: obs.counter("store.read_cache.hits"),
@@ -204,6 +260,9 @@ pub struct DataStore {
     /// Partitions set aside by [`DataStore::recover`]; reads of chunks in
     /// them fail with [`StoreError::Quarantined`] instead of a decode error.
     quarantined: HashMap<PartitionId, String>,
+    /// Cumulative compressed bytes read off disk, per codec (behind a mutex
+    /// because parallel partition loads account from worker threads).
+    codec_read_bytes: Mutex<HashMap<String, u64>>,
     stats: StoreStats,
 }
 
@@ -243,6 +302,7 @@ impl DataStore {
             next_lsh_item: 0,
             read_cache: LruCache::new(config.mem_capacity),
             quarantined: HashMap::new(),
+            codec_read_bytes: Mutex::new(HashMap::new()),
             stats: StoreStats::default(),
             config,
         })
@@ -263,6 +323,47 @@ impl DataStore {
     /// The store's observability handle.
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Cumulative read-path attribution so far. Snapshot before and after a
+    /// fetch and diff with [`ReadAttribution::since`] to attribute store
+    /// activity to one query.
+    pub fn read_attribution(&self) -> ReadAttribution {
+        let mut codec_bytes: Vec<(String, u64)> = self
+            .codec_read_bytes
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(codec, v)| (codec.clone(), *v))
+            .collect();
+        codec_bytes.sort();
+        ReadAttribution {
+            gets: self.metrics.get_count.get(),
+            bytes: self.metrics.get_bytes.get(),
+            mem_hits: self.metrics.get_mem_hits.get(),
+            cache_hits: self.metrics.get_cache_hits.get(),
+            disk_reads: self.metrics.get_disk_reads.get(),
+            partitions_touched: self.metrics.get_partitions_touched.get(),
+            codec_bytes,
+        }
+    }
+
+    /// Account compressed bytes coming off disk against their codec (feeds
+    /// [`DataStore::read_attribution`] and the `read.codec.*` counters).
+    /// Takes the pieces rather than `&self` so parallel partition-load
+    /// workers can call it through shared references.
+    fn note_codec_read(obs: &Obs, per_codec: &Mutex<HashMap<String, u64>>, sealed: &[u8]) {
+        let codec = mistique_compress::scheme_of(sealed)
+            .map(|s| s.name())
+            .unwrap_or("unknown");
+        *per_codec
+            .lock()
+            .unwrap()
+            .entry(codec.to_string())
+            .or_insert(0) += sealed.len() as u64;
+        obs.counter(&format!("read.codec.{codec}.bytes"))
+            .add(sealed.len() as u64);
+        obs.counter(&format!("read.codec.{codec}.count")).inc();
     }
 
     /// Store one chunk under its logical key using the configured placement
@@ -540,6 +641,7 @@ impl DataStore {
                 reason: reason.clone(),
             });
         }
+        self.metrics.get_partitions_touched.inc();
 
         // 1. Open partition in the buffer pool.
         if let Some(part) = self.mem.get(pid) {
@@ -564,6 +666,7 @@ impl DataStore {
         self.metrics.get_disk_reads.inc();
         self.metrics.read_cache_misses.inc();
         let sealed = self.disk.read(pid)?;
+        Self::note_codec_read(&self.obs, &self.codec_read_bytes, &sealed);
         let part = Partition::unseal(pid, &sealed)?;
         let chunk = {
             let bytes = part
@@ -638,6 +741,7 @@ impl DataStore {
                 missing.push(pid);
             }
         }
+        self.metrics.get_partitions_touched.add(seen.len() as u64);
 
         let loaded = self.load_partitions(&missing, parallelism)?;
         // Partitions that could not enter the cache still serve this batch.
@@ -680,6 +784,7 @@ impl DataStore {
                 // same batch (cache smaller than the batch): re-read it and
                 // keep it aside for the rest of this batch.
                 let sealed = self.disk.read(pid)?;
+                Self::note_codec_read(&self.obs, &self.codec_read_bytes, &sealed);
                 let part = Partition::unseal(pid, &sealed)?;
                 self.metrics.get_disk_reads.inc();
                 bytes = part
@@ -704,17 +809,31 @@ impl DataStore {
         if pids.is_empty() {
             return Ok(Vec::new());
         }
+        // Capture the caller's active span before any workers spawn: every
+        // per-partition load span links to it explicitly, so the trace tree
+        // is identical whether loads run serially or on worker threads.
+        let ctx = self.obs.current_context();
         let workers = parallelism.max(1).min(pids.len());
         if workers <= 1 {
             return pids
                 .iter()
                 .map(|&pid| {
+                    let mut sp = self
+                        .obs
+                        .span_with_parent("store.partition.load", ctx.as_ref());
+                    sp.attr("pid", pid);
                     let sealed = self.disk.read(pid)?;
-                    Ok((pid, Partition::unseal(pid, &sealed)?))
+                    Self::note_codec_read(&self.obs, &self.codec_read_bytes, &sealed);
+                    let part = Partition::unseal(pid, &sealed)?;
+                    sp.finish();
+                    Ok((pid, part))
                 })
                 .collect();
         }
         let disk = &self.disk;
+        let obs = &self.obs;
+        let codec_map = &self.codec_read_bytes;
+        let ctx_ref = ctx.as_ref();
         let per_worker: Vec<Vec<Result<(PartitionId, Partition), StoreError>>> =
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
@@ -724,9 +843,13 @@ impl DataStore {
                             let mut i = w;
                             while i < pids.len() {
                                 let pid = pids[i];
+                                let mut sp = obs.span_with_parent("store.partition.load", ctx_ref);
+                                sp.attr("pid", pid);
                                 out.push(disk.read(pid).and_then(|sealed| {
+                                    Self::note_codec_read(obs, codec_map, &sealed);
                                     Ok((pid, Partition::unseal(pid, &sealed)?))
                                 }));
+                                sp.finish();
                                 i += workers;
                             }
                             out
@@ -1188,6 +1311,64 @@ mod tests {
         assert_eq!(report.partitions_ok, 0);
         assert_eq!(report.missing, 1);
         assert!(matches!(ds.get_chunk(&key), Err(StoreError::NotFound)));
+    }
+
+    #[test]
+    fn read_attribution_diffs_per_fetch() {
+        let (_dir, mut ds) = store(PlacementPolicy::ByIntermediate);
+        let chunk = f64_chunk((0..2000).map(|i| i as f64).collect());
+        let key = ChunkKey::new("m.i", "c", 0);
+        ds.put_chunk(key.clone(), &chunk).unwrap();
+        ds.flush().unwrap();
+        ds.clear_read_cache();
+
+        let before = ds.read_attribution();
+        ds.get_chunk(&key).unwrap();
+        let delta = ds.read_attribution().since(&before);
+        assert_eq!(delta.gets, 1);
+        assert_eq!(delta.disk_reads, 1);
+        assert_eq!(delta.partitions_touched, 1);
+        assert!(delta.bytes > 0);
+        let codec_total: u64 = delta.codec_bytes.iter().map(|(_, v)| *v).sum();
+        assert!(codec_total > 0, "codec breakdown populated: {delta:?}");
+
+        // Warm read: served by the read cache, nothing comes off disk.
+        let before = ds.read_attribution();
+        ds.get_chunk(&key).unwrap();
+        let delta = ds.read_attribution().since(&before);
+        assert_eq!(delta.disk_reads, 0);
+        assert_eq!(delta.cache_hits, 1);
+        assert!(delta.codec_bytes.is_empty());
+    }
+
+    #[test]
+    fn parallel_partition_loads_link_to_calling_span() {
+        let (_dir, mut ds) = store(PlacementPolicy::ByIntermediate);
+        let keys: Vec<ChunkKey> = (0..3)
+            .map(|i| ChunkKey::new(format!("m.i{i}"), "c", 0))
+            .collect();
+        for (i, key) in keys.iter().enumerate() {
+            let vals: Vec<f64> = (0..1000).map(|j| (i * 7 + j) as f64).collect();
+            ds.put_chunk(key.clone(), &f64_chunk(vals)).unwrap();
+        }
+        ds.flush().unwrap();
+        ds.clear_read_cache();
+
+        let obs = ds.obs().clone();
+        let root = obs.span("batch");
+        let root_id = root.id();
+        ds.get_chunk_bytes_batch(&keys, 3).unwrap();
+        root.finish();
+
+        let loads: Vec<_> = obs
+            .recent_spans()
+            .into_iter()
+            .filter(|r| r.name == "store.partition.load")
+            .collect();
+        assert_eq!(loads.len(), 3);
+        for load in loads {
+            assert_eq!(load.parent_id, Some(root_id), "worker span linked");
+        }
     }
 
     #[test]

@@ -26,7 +26,8 @@ pub mod partition;
 
 pub use backend::{FaultyFs, RealFs, StorageBackend, TornWrite};
 pub use datastore::{
-    ChunkKey, DataStore, DataStoreConfig, PlacementPolicy, RecoveryReport, StoreStats,
+    ChunkKey, DataStore, DataStoreConfig, PlacementPolicy, ReadAttribution, RecoveryReport,
+    StoreStats,
 };
 pub use disk::DiskStore;
 pub use lru::{LruCache, LruList};

@@ -50,6 +50,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
+    // EXPLAIN: the audit trail behind the last decision above — which plan
+    // the cost model picked, what it predicted for each, and what the query
+    // actually cost.
+    if let Some(report) = mistique.last_report() {
+        println!("\nEXPLAIN of the last query:");
+        print!("{}", report.render());
+        println!("\ntrace tree:");
+        print!("{}", mistique.render_trace(report.trace_id));
+    }
+
     mistique.flush()?;
     println!(
         "\nfinal store: {} bytes on disk — only the intermediates the \

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# CI perf gate: run the read_parallel bench at the committed baseline's row
+# count and compare cold-read throughput against the checked-in snapshot
+# (BENCH_read_parallel.json at the repo root). Fails when throughput drops
+# more than 20%. Skips cleanly when no baseline is committed — run the bench
+# once and commit its snapshot to arm the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_read_parallel.json
+BUDGET=0.8 # new throughput must be >= BUDGET * baseline throughput
+
+# Pull one numeric gauge out of a bench snapshot without a JSON tool: split
+# on commas/braces, find the quoted key, strip everything up to the colon.
+val() { # file key
+  tr ',{' '\n\n' <"$1" | grep -F "\"$2\":" | head -1 | sed 's/.*://; s/[}"]//g'
+}
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "no committed $BASELINE — skipping perf gate"
+  exit 0
+fi
+
+base_rows=$(val "$BASELINE" bench.read_parallel.rows)
+base_ms=$(val "$BASELINE" bench.read_parallel.serial_ms)
+if [[ -z "$base_rows" || -z "$base_ms" ]]; then
+  echo "malformed $BASELINE (missing rows/serial_ms gauges) — skipping perf gate"
+  exit 0
+fi
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+echo "== read_parallel bench (rows=$base_rows, reps=3, workers=4) =="
+MISTIQUE_BENCH_DIR="$out" cargo run --release -q -p mistique-bench --bin read_parallel -- \
+  --rows "$base_rows" --reps 3 --workers 4
+
+new_ms=$(val "$out/BENCH_read_parallel.json" bench.read_parallel.serial_ms)
+
+# Gate on the serial cold read: it is the stable number across CI hosts
+# (parallel speedup depends on the runner's core count).
+awk -v rows="$base_rows" -v base_ms="$base_ms" -v new_ms="$new_ms" -v budget="$BUDGET" 'BEGIN {
+  base_tp = rows / base_ms
+  new_tp  = rows / new_ms
+  ratio   = new_tp / base_tp
+  printf "cold-read throughput: baseline %.0f rows/ms (%.2f ms), current %.0f rows/ms (%.2f ms), ratio %.2f\n",
+         base_tp, base_ms, new_tp, new_ms, ratio
+  if (ratio < budget) {
+    printf "FAIL: cold-read throughput regressed more than %.0f%% vs the committed baseline\n", (1 - budget) * 100
+    exit 1
+  }
+  printf "OK: within the %.0f%% regression budget\n", (1 - budget) * 100
+}'

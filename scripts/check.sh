@@ -23,6 +23,8 @@ echo "== reliability suites =="
 cargo test -q -p mistique-core --test failure_injection
 cargo test -q -p mistique-core --test crash_safety
 cargo test -q -p mistique-core --test proptest_system
+cargo test -q -p mistique-core --test observability
+cargo test -q -p mistique-core --test explain
 cargo test -q -p mistique-store --test lru_model
 cargo test -q -p mistique-compress --test truncation_fuzz
 cargo test -q -p mistique-compress --test proptest_roundtrip

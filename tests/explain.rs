@@ -1,0 +1,362 @@
+//! Query EXPLAIN integration tests: every diagnostic query yields a
+//! `QueryReport` with real cost predictions, the span tree of a cold read is
+//! identical at every `read_parallelism` setting, the Perfetto export is
+//! valid Chrome-trace JSON, a miscalibrated cost model trips the drift flag,
+//! and the span-ring / report-retention knobs in `MistiqueConfig` are
+//! honoured.
+
+use std::sync::Arc;
+
+use mistique_core::{FetchStrategy, Mistique, MistiqueConfig, PlanChoice, StorageStrategy};
+use mistique_obs::tree::trace_trees;
+use mistique_obs::SpanNode;
+use mistique_pipeline::templates::zillow_pipelines;
+use mistique_pipeline::ZillowData;
+
+/// A small logged TRAD system with several row blocks per column, so cold
+/// reads touch multiple partitions and decode spans.
+fn explain_system(config: MistiqueConfig) -> (tempfile::TempDir, Mistique, String) {
+    let dir = tempfile::tempdir().unwrap();
+    let mut sys = Mistique::open(dir.path(), config).unwrap();
+    let data = Arc::new(ZillowData::generate(150, 1));
+    let id = sys
+        .register_trad(zillow_pipelines().remove(0), data)
+        .unwrap();
+    sys.log_intermediates(&id).unwrap();
+    (dir, sys, id)
+}
+
+fn small_blocks() -> MistiqueConfig {
+    MistiqueConfig {
+        row_block_size: 40,
+        storage: StorageStrategy::Dedup,
+        ..MistiqueConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reports: every Diagnostics query leaves an attributed QueryReport.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_diagnostic_query_yields_a_labeled_report() {
+    let (_d, mut sys, id) = explain_system(small_blocks());
+    let interms = sys.intermediates_of(&id);
+    let preds = interms.last().unwrap().clone();
+    let first = interms[0].clone();
+
+    sys.topk(&preds, "pred", 5).unwrap();
+    let r = sys.last_report().expect("topk leaves a report").clone();
+    assert_eq!(r.query, "diag.topk");
+    assert_eq!(r.intermediate, preds);
+    assert!(
+        r.plan == PlanChoice::Read || r.plan == PlanChoice::Rerun,
+        "first fetch is never served by the query cache"
+    );
+    assert!(r.predicted_read_s > 0.0, "Eq 4 prediction recorded");
+    assert!(r.predicted_rerun_s > 0.0, "Eq 2/3 prediction recorded");
+    assert!(r.actual > std::time::Duration::ZERO);
+    assert!(r.n_ex > 0);
+    assert!(!r.scheme.is_empty());
+    // A read that went through the store moved bytes and touched partitions.
+    if r.plan == PlanChoice::Read {
+        assert!(r.attribution.gets > 0);
+        assert!(r.attribution.bytes > 0);
+    }
+
+    let col0 = sys.metadata().intermediate(&first).unwrap().columns[0].clone();
+    sys.col_dist(&first, &col0, 8).unwrap();
+    assert_eq!(sys.last_report().unwrap().query, "diag.col_dist");
+
+    sys.pointq(&preds, "pred", 3).unwrap();
+    assert_eq!(sys.last_report().unwrap().query, "diag.pointq");
+
+    // The rendered report mentions the plan, both predictions, and the trace.
+    let text = sys.last_report().unwrap().render();
+    for needle in ["plan", "predicted read", "rerun", "actual", "trace"] {
+        assert!(text.contains(needle), "render missing {needle:?}:\n{text}");
+    }
+}
+
+#[test]
+fn cached_fetches_report_the_cached_plan() {
+    let (_d, mut sys, id) = explain_system(MistiqueConfig {
+        query_cache_bytes: 16 << 20,
+        ..small_blocks()
+    });
+    let preds = sys.intermediates_of(&id).last().unwrap().clone();
+    sys.topk(&preds, "pred", 5).unwrap();
+    sys.topk(&preds, "pred", 5).unwrap();
+    let r = sys.last_report().unwrap();
+    assert_eq!(r.plan, PlanChoice::Cached);
+    assert!(r.cache_hit);
+    assert_eq!(r.query, "diag.topk");
+    // Even cached hits carry the cost-model predictions for the audit trail.
+    assert!(r.predicted_read_s > 0.0);
+    assert!(r.predicted_rerun_s > 0.0);
+}
+
+#[test]
+fn report_sequence_numbers_are_monotonic() {
+    let (_d, mut sys, id) = explain_system(small_blocks());
+    let preds = sys.intermediates_of(&id).last().unwrap().clone();
+    for _ in 0..3 {
+        sys.fetch_with_strategy(&preds, None, Some(32), FetchStrategy::Read)
+            .unwrap();
+    }
+    let reports = sys.query_reports(10);
+    assert_eq!(reports.len(), 3);
+    for w in reports.windows(2) {
+        assert_eq!(w[1].seq, w[0].seq + 1);
+    }
+    assert!(reports.iter().all(|r| r.plan == PlanChoice::Read));
+}
+
+// ---------------------------------------------------------------------------
+// Span trees: worker-count invariance of the cold-read trace.
+// ---------------------------------------------------------------------------
+
+/// Flattened multiset of name-paths of a span forest, sorted.
+fn shape(nodes: &[SpanNode]) -> Vec<String> {
+    fn walk(nodes: &[SpanNode], prefix: &str, out: &mut Vec<String>) {
+        for n in nodes {
+            let path = format!("{prefix}/{}", n.record.name);
+            out.push(path.clone());
+            walk(&n.children, &path, out);
+        }
+    }
+    let mut out = Vec::new();
+    walk(nodes, "", &mut out);
+    out.sort();
+    out
+}
+
+#[test]
+fn cold_read_trace_tree_is_identical_at_any_worker_count() {
+    let (_d, mut sys, id) = explain_system(small_blocks());
+    let interm = sys.intermediates_of(&id)[1].clone();
+    sys.flush().unwrap();
+
+    let mut shapes: Vec<(usize, Vec<String>)> = Vec::new();
+    for workers in [1usize, 2, 4, 0] {
+        sys.set_read_parallelism(workers);
+        sys.store_mut().clear_read_cache();
+        sys.fetch_with_strategy(&interm, None, None, FetchStrategy::Read)
+            .unwrap();
+        let report = sys.last_report().unwrap().clone();
+        let spans = sys.obs().recent_spans();
+        let roots = trace_trees(&spans, report.trace_id);
+        assert_eq!(roots.len(), 1, "one root span per fetch");
+        assert_eq!(roots[0].record.name, "fetch.read");
+        shapes.push((workers, shape(&roots)));
+    }
+
+    let (_, reference) = &shapes[0];
+    assert!(
+        reference.iter().any(|p| p == "/fetch.read"),
+        "missing root: {reference:?}"
+    );
+    assert!(
+        reference
+            .iter()
+            .any(|p| p == "/fetch.read/store.partition.load"),
+        "cold read must show partition loads as children: {reference:?}"
+    );
+    assert!(
+        reference.iter().any(|p| p == "/fetch.read/fetch.decode"),
+        "per-column decode spans must parent under the fetch: {reference:?}"
+    );
+    for (workers, s) in &shapes[1..] {
+        assert_eq!(
+            s, reference,
+            "trace tree at read_parallelism={workers} diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn rendered_trace_shows_the_hierarchy() {
+    let (_d, mut sys, id) = explain_system(small_blocks());
+    let interm = sys.intermediates_of(&id)[1].clone();
+    sys.flush().unwrap();
+    sys.store_mut().clear_read_cache();
+    sys.fetch_with_strategy(&interm, None, None, FetchStrategy::Read)
+        .unwrap();
+    let trace_id = sys.last_report().unwrap().trace_id;
+    let text = sys.render_trace(trace_id);
+    assert!(text.contains("fetch.read"), "{text}");
+    assert!(text.contains("store.partition.load"), "{text}");
+    assert!(text.contains("fetch.decode"), "{text}");
+    // Children are drawn with tree glyphs under the root.
+    assert!(
+        text.contains("├──") || text.contains("└──"),
+        "no tree structure in:\n{text}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Exporters: Perfetto JSON round-trip + folded stacks.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn perfetto_export_is_valid_chrome_trace_json_and_round_trips() {
+    let (_d, mut sys, id) = explain_system(small_blocks());
+    let preds = sys.intermediates_of(&id).last().unwrap().clone();
+    sys.topk(&preds, "pred", 5).unwrap();
+
+    // Golden-file style: write, read back, parse with a real JSON parser.
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("trace.json");
+    std::fs::write(&path, sys.perfetto_json()).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+
+    assert_eq!(v["displayTimeUnit"].as_str(), Some("ms"));
+    let events = v["traceEvents"].as_array().expect("traceEvents array");
+    let n_spans = sys.obs().recent_spans().len();
+    assert_eq!(events.len(), n_spans, "one complete event per ring span");
+    assert!(n_spans > 0);
+    for ev in events {
+        assert_eq!(ev["ph"].as_str(), Some("X"), "complete events only");
+        assert_eq!(ev["cat"].as_str(), Some("mistique"));
+        assert!(ev["name"].as_str().is_some_and(|s| !s.is_empty()));
+        assert!(ev["ts"].as_f64().is_some() && ev["dur"].as_f64().is_some());
+        assert!(ev["args"]["span_id"].as_f64().is_some());
+    }
+    // The fetch root span makes it into the export alongside its children.
+    assert!(events.iter().any(|ev| {
+        let name = ev["name"].as_str();
+        name == Some("fetch.read") || name == Some("fetch.cached")
+    }));
+
+    // Folded stacks: every line is "path spans;sep;by;semicolons <count>".
+    let folded = sys.flamegraph_folded();
+    assert!(!folded.is_empty());
+    for line in folded.lines() {
+        let (stack, n) = line.rsplit_once(' ').expect("stack <ns> per line");
+        assert!(!stack.is_empty());
+        n.parse::<u64>().expect("self-time is integral ns");
+    }
+    assert!(folded.lines().any(|l| l.starts_with("fetch.")));
+}
+
+// ---------------------------------------------------------------------------
+// Drift monitor: a miscalibrated model is flagged on the report + gauge.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn miscalibrated_cost_model_trips_the_drift_flag() {
+    let (_d, mut sys, id) = explain_system(small_blocks());
+    let preds = sys.intermediates_of(&id).last().unwrap().clone();
+
+    // Absurd bandwidth => predicted read cost is ~1e-15 s while the actual
+    // read takes microseconds: the predicted/actual ratio collapses.
+    sys.cost_model_mut().read_bandwidth = 1e18;
+    for _ in 0..3 {
+        sys.fetch_with_strategy(&preds, None, None, FetchStrategy::Read)
+            .unwrap();
+    }
+    let r = sys.last_report().unwrap();
+    assert_eq!(r.plan, PlanChoice::Read);
+    assert!(r.drift_flagged, "report must carry the drift flag");
+    let ratio = r.drift_ratio.expect("monitored plan records a ratio");
+    assert!(ratio < 1.0 / sys.drift_monitor().tolerance());
+
+    assert!(sys.drift_monitor().any_flagged());
+    assert!(sys.drift_monitor().worst_drift() > sys.drift_monitor().tolerance());
+    // The gauge mirrors the monitor for dashboards.
+    let snap = sys.obs_snapshot();
+    let gauge = snap.gauges.get("cost_model.drift").copied().unwrap_or(0.0);
+    assert!(gauge > sys.drift_monitor().tolerance(), "gauge {gauge}");
+    // Rendered report calls it out.
+    assert!(sys
+        .last_report()
+        .unwrap()
+        .render()
+        .contains("MISCALIBRATED"));
+}
+
+#[test]
+fn drift_ratio_and_flag_are_consistent_on_monitored_reports() {
+    let (_d, mut sys, id) = explain_system(small_blocks());
+    let preds = sys.intermediates_of(&id).last().unwrap().clone();
+    // Whatever the ratio lands on with the default model, the report's flag
+    // must agree with the monitor's tolerance band.
+    for _ in 0..3 {
+        sys.fetch_with_strategy(&preds, None, None, FetchStrategy::Read)
+            .unwrap();
+    }
+    let r = sys.last_report().unwrap();
+    assert!(r.drift_ratio.is_some());
+    assert_eq!(r.drift_flagged, {
+        let t = sys.drift_monitor().tolerance();
+        let ratio = r.drift_ratio.unwrap();
+        ratio > t || ratio < 1.0 / t
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Config knobs: span ring capacity + report retention.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn span_ring_capacity_is_configurable() {
+    let (_d, mut sys, id) = explain_system(MistiqueConfig {
+        span_ring_capacity: 8,
+        ..small_blocks()
+    });
+    assert_eq!(sys.obs().ring_capacity(), 8);
+    let preds = sys.intermediates_of(&id).last().unwrap().clone();
+    for _ in 0..4 {
+        sys.fetch_with_strategy(&preds, None, None, FetchStrategy::Read)
+            .unwrap();
+    }
+    let spans = sys.obs().recent_spans();
+    assert!(spans.len() <= 8, "ring kept {} spans", spans.len());
+    assert!(!spans.is_empty());
+}
+
+#[test]
+fn report_retention_is_configurable_and_bounded() {
+    let (_d, mut sys, id) = explain_system(MistiqueConfig {
+        report_retention: 2,
+        ..small_blocks()
+    });
+    let preds = sys.intermediates_of(&id).last().unwrap().clone();
+    for _ in 0..5 {
+        sys.fetch_with_strategy(&preds, None, Some(16), FetchStrategy::Read)
+            .unwrap();
+    }
+    let reports = sys.query_reports(10);
+    assert_eq!(reports.len(), 2, "retention bounds the ring");
+    // The survivors are the most recent queries, still in order.
+    assert_eq!(reports[1].seq, reports[0].seq + 1);
+    assert_eq!(reports[1].seq, 4, "seq keeps counting past evictions");
+}
+
+#[test]
+fn reopened_store_honours_span_ring_capacity() {
+    let dir = tempfile::tempdir().unwrap();
+    {
+        let mut sys = Mistique::open(dir.path(), small_blocks()).unwrap();
+        let data = Arc::new(ZillowData::generate(100, 1));
+        let id = sys
+            .register_trad(zillow_pipelines().remove(0), data)
+            .unwrap();
+        sys.log_intermediates(&id).unwrap();
+        if sys.persist().is_err() {
+            // Environments without a JSON serializer can't persist; the
+            // config plumbing through `open` is covered above.
+            return;
+        }
+    }
+    let sys = Mistique::reopen(
+        dir.path(),
+        MistiqueConfig {
+            span_ring_capacity: 16,
+            ..MistiqueConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(sys.obs().ring_capacity(), 16);
+}
