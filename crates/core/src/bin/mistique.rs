@@ -9,7 +9,15 @@
 //! mistique hist  <dir> <intermediate> <column> [buckets]
 //! mistique stats <dir> [--json <file>]       # metrics + span report
 //! mistique explain <dir> [--last <n>] [--perfetto <file>] [--flame <file>]
+//! mistique reclaim <dir> [budget_bytes]      # demote/purge cold intermediates, compact
 //! ```
+//!
+//! `reclaim` runs one storage-reclamation pass: while the materialized bytes
+//! exceed the budget, the coldest-γ intermediate is demoted one rung down
+//! the quantization ladder (FULL → LP_QT → 8BIT_QT → THRESHOLD_QT) or, on
+//! the last rung, purged; then under-occupied partitions are compacted and
+//! the manifest re-persisted. Without an explicit budget the configured
+//! `storage_budget_bytes` applies (0 = unlimited: only compaction runs).
 //!
 //! `explain` replays one read per materialized intermediate plus a sample
 //! diagnostic query, then prints the per-query EXPLAIN reports (plan chosen,
@@ -30,7 +38,7 @@ use mistique_pipeline::ZillowData;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mistique <demo|info|show|head|topk|hist|stats|explain> <dir> [args...]\n\
+        "usage: mistique <demo|info|show|head|topk|hist|stats|explain|reclaim> <dir> [args...]\n\
          run `mistique demo /tmp/mq && mistique explain /tmp/mq` to try it"
     );
     ExitCode::FAILURE
@@ -266,6 +274,14 @@ fn run(cmd: &str, dir: &str, rest: &[String]) -> Result<(), Box<dyn std::error::
                 std::fs::write(path, sys.flamegraph_folded())?;
                 println!("wrote folded stacks to {path} (pipe through flamegraph.pl)");
             }
+        }
+        "reclaim" => {
+            let mut sys = open(dir)?;
+            let report = match rest.first() {
+                Some(b) => sys.reclaim_to(b.parse()?)?,
+                None => sys.reclaim()?,
+            };
+            print!("{}", report.render());
         }
         _ => {
             usage();

@@ -76,16 +76,33 @@ impl CostModel {
     /// γ (Eq 5): query seconds saved per byte of storage if this
     /// intermediate is (or stays) materialized, given its query count.
     /// Computed at `n_ex = TOTAL_EXAMPLES` as the paper specifies.
+    ///
+    /// Degenerate inputs (zero stored bytes, non-finite timings from a
+    /// corrupted meta) yield 0.0 rather than inf/NaN, so γ comparisons in
+    /// the materialization and reclamation paths always total-order.
     pub fn gamma(&self, model: &ModelMeta, meta: &IntermediateMeta, stored_bytes: u64) -> f64 {
         if stored_bytes == 0 {
             return 0.0;
         }
         let n_ex = model.n_examples;
         let saving = self.t_rerun(model, meta, n_ex) - self.t_read(meta, n_ex);
-        if saving <= 0.0 {
+        if !(saving > 0.0 && saving.is_finite()) {
             return 0.0;
         }
-        saving * meta.n_queries as f64 / stored_bytes as f64
+        let g = saving * meta.n_queries as f64 / stored_bytes as f64;
+        if g.is_finite() {
+            g
+        } else {
+            0.0
+        }
+    }
+
+    /// γ against the intermediate's *current* query count and stored size,
+    /// with the `stored_bytes.max(1)` guard applied — the one entry point
+    /// every materialization/demotion decision should use so a zero-byte
+    /// record can never divide γ by zero.
+    pub fn gamma_now(&self, model: &ModelMeta, meta: &IntermediateMeta) -> f64 {
+        self.gamma(model, meta, meta.stored_bytes.max(1))
     }
 
     /// Fold an observed read (bytes, wall time) into the calibrated
@@ -154,6 +171,13 @@ impl DriftMonitor {
             return (current, self.out_of_tolerance(current));
         }
         let ratio = predicted_s / actual_s;
+        // A finite prediction over a denormal-small actual can still divide
+        // to inf; folding that into the EWMA would poison the class forever
+        // (every later smoothed value stays inf). Skip such samples too.
+        if !ratio.is_finite() {
+            let current = self.ratio(class).unwrap_or(1.0);
+            return (current, self.out_of_tolerance(current));
+        }
         let smoothed = match self.classes.get(class) {
             Some(&prev) => self.alpha * ratio + (1.0 - self.alpha) * prev,
             None => ratio,
@@ -387,6 +411,68 @@ mod tests {
         }
         assert!(!flagged, "EWMA recovered: {:?}", dm.ratio("rerun"));
         assert!(!dm.any_flagged());
+    }
+
+    #[test]
+    fn zero_example_model_yields_finite_costs_and_gamma() {
+        // A DNN model registered with 0 examples must not push inf/NaN into
+        // t_rerun (cum / n_examples) or γ.
+        let cm = CostModel::default();
+        let model = model(ModelKind::Dnn, 0, 1200);
+        let mut m = interm(5000, 4096, 1000);
+        m.n_queries = 3;
+        let t = cm.t_rerun(&model, &m, 1000);
+        assert!(t.is_finite());
+        assert!((t - 1.2).abs() < 1e-9, "load cost only, no per-ex term");
+        let g = cm.gamma(&model, &m, m.stored_bytes);
+        assert!(g.is_finite());
+        assert!(g >= 0.0);
+    }
+
+    #[test]
+    fn gamma_now_guards_zero_stored_bytes() {
+        let cm = CostModel {
+            read_bandwidth: 1e9,
+            ..Default::default()
+        };
+        let model = model(ModelKind::Trad, 1000, 0);
+        let mut m = interm(1000, 0, 1000); // zero stored bytes on record
+        m.n_queries = 5;
+        let g = cm.gamma_now(&model, &m);
+        assert!(g.is_finite(), "max(1) guard keeps γ finite");
+        assert!(g > 0.0, "cheap-to-read intermediate still scores");
+        // And gamma_now matches the guarded explicit call.
+        assert_eq!(g, cm.gamma(&model, &m, 1));
+    }
+
+    #[test]
+    fn gamma_rejects_nonfinite_savings() {
+        let cm = CostModel {
+            read_bandwidth: 1e9,
+            ..Default::default()
+        };
+        let model = model(ModelKind::Trad, 1000, 0);
+        let mut m = interm(1000, 1000, 1000);
+        m.n_queries = 2;
+        m.cum_exec_time = Duration::MAX; // absurd meta: t_rerun overflows
+        let g = cm.gamma(&model, &m, 1000);
+        assert!(g.is_finite(), "γ never propagates inf: {g}");
+    }
+
+    #[test]
+    fn drift_skips_infinite_ratio_observations() {
+        // Regression: a finite positive prediction over a denormal-small
+        // actual divides to inf; folding it in would poison the EWMA.
+        let mut dm = DriftMonitor::new(0.3, 4.0);
+        dm.observe("read", 0.002, Duration::from_millis(1)); // ratio 2
+        let tiny = Duration::from_nanos(1);
+        let (ratio, _) = dm.observe("read", 1e300, tiny); // 1e300/1e-9 = inf
+        assert!(ratio.is_finite());
+        assert!((ratio - 2.0).abs() < 1e-9, "EWMA untouched by inf sample");
+        assert!(dm.worst_drift().is_finite());
+        // Later good observations still fold in normally.
+        let (r2, _) = dm.observe("read", 0.002, Duration::from_millis(1));
+        assert!(r2.is_finite() && (r2 - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod cost;
 pub mod diagnostics;
 pub mod error;
 pub mod executor;
+pub mod manager;
 pub mod metadata;
 pub mod persist;
 pub mod qcache;
@@ -65,8 +66,10 @@ pub use cost::{CostModel, DriftMonitor};
 // `Mistique::obs()` hands out an `Obs`, snapshots come back as `Snapshot`.
 pub use error::MistiqueError;
 pub use executor::ModelSource;
+pub use manager::{next_demotion, COMPACT_LIVE_RATIO};
 pub use metadata::{IntermediateMeta, MetadataDb, ModelKind};
 pub use mistique_obs::{Counter, Gauge, Histogram, Obs, Snapshot, Span, SpanContext, SpanRecord};
+pub use mistique_store::{CompactionReport, RetractOutcome};
 pub use reader::{FetchResult, FetchStrategy};
-pub use report::{PlanChoice, QueryReport, ReportRing};
+pub use report::{DemotionRecord, PlanChoice, QueryReport, ReclaimReport, ReportRing, SeqRing};
 pub use system::{Mistique, MistiqueConfig, StorageStrategy};

@@ -1,0 +1,414 @@
+//! The storage budget manager (Sec 4.3 taken to its conclusion): adaptive
+//! materialization promotes hot intermediates, this module walks them back
+//! down when the store outgrows `MistiqueConfig::storage_budget_bytes`.
+//!
+//! A reclaim pass repeatedly picks the **coldest** materialized intermediate
+//! — the one with the lowest γ (Eq 5), recomputed against its *current*
+//! query count — and takes one step down the demotion ladder:
+//!
+//! ```text
+//! FULL → LP_QT → 8BIT_QT → THRESHOLD_QT → purged
+//! ```
+//!
+//! Each demotion re-encodes the stored values under the cheaper scheme and
+//! overwrites the same chunk keys (the displaced bytes become dead chunks in
+//! their partitions). A purge retracts every chunk and flips
+//! `materialized = false`: future queries transparently re-run the model and
+//! may re-promote the intermediate through the ordinary γ test. When the
+//! accounting is back under budget the pass compacts partitions whose
+//! live-byte ratio dropped below [`COMPACT_LIVE_RATIO`], physically
+//! reclaiming the dead bytes.
+//!
+//! Crash-safety discipline: the catalog on disk must stop referencing
+//! demoted/purged chunks *before* compaction drops their bytes, so the pass
+//! persists the manifest first and skips compaction when a stale manifest
+//! exists that could not be refreshed. Each rewrite is a single atomic
+//! overwrite of the partition file, so a crash at any point leaves each
+//! partition in exactly its pre- or post-compaction state (see
+//! `crates/store/tests/compaction.rs`).
+
+use mistique_dataframe::{Column, ColumnData, DataFrame};
+use mistique_quantize::half::encode_f16;
+use mistique_quantize::{KbitQuantizer, ThresholdQuantizer};
+use mistique_store::{ChunkKey, PlacementPolicy};
+
+use crate::capture::{CaptureScheme, ValueScheme};
+use crate::error::MistiqueError;
+use crate::report::{DemotionRecord, ReclaimReport};
+use crate::system::Mistique;
+
+/// Partitions whose live-byte ratio is at or below this are rewritten by the
+/// post-reclaim compaction (fully-dead partitions are always deleted).
+pub const COMPACT_LIVE_RATIO: f64 = 0.7;
+
+/// The next rung down the demotion ladder, or `None` when the only step
+/// left is a purge.
+pub fn next_demotion(scheme: ValueScheme) -> Option<ValueScheme> {
+    match scheme {
+        ValueScheme::Full => Some(ValueScheme::Lp),
+        ValueScheme::Lp => Some(ValueScheme::Kbit { bits: 8 }),
+        ValueScheme::Kbit { .. } => Some(ValueScheme::Threshold { pct: 0.995 }),
+        ValueScheme::Threshold { .. } => None,
+    }
+}
+
+impl Mistique {
+    /// Bytes of materialized intermediates the budget accounting charges:
+    /// the sum of `stored_bytes` over every `materialized` intermediate.
+    /// (Physical disk usage can transiently exceed this between a demotion
+    /// and the compaction that drops the displaced chunks.)
+    pub fn storage_budget_used(&self) -> u64 {
+        self.meta
+            .model_ids()
+            .iter()
+            .flat_map(|id| self.meta.intermediates_of(id))
+            .filter(|m| m.materialized)
+            .map(|m| m.stored_bytes)
+            .sum()
+    }
+
+    /// The configured storage budget (0 = unlimited).
+    pub fn storage_budget(&self) -> u64 {
+        self.config.storage_budget_bytes
+    }
+
+    /// Change the storage budget at runtime. Takes effect at the next
+    /// materialization or explicit [`Mistique::reclaim`].
+    pub fn set_storage_budget(&mut self, bytes: u64) {
+        self.config.storage_budget_bytes = bytes;
+    }
+
+    /// Run a reclaim pass against the configured budget. With an unlimited
+    /// budget the demotion loop is a no-op but compaction still runs,
+    /// recovering bytes dead from chunk overwrites.
+    pub fn reclaim(&mut self) -> Result<ReclaimReport, MistiqueError> {
+        self.reclaim_to(self.config.storage_budget_bytes)
+    }
+
+    /// Run a reclaim pass against an explicit budget (the `mistique reclaim
+    /// <dir> [budget]` entry point). See the module docs for the ladder and
+    /// the crash-safety discipline.
+    pub fn reclaim_to(&mut self, budget_bytes: u64) -> Result<ReclaimReport, MistiqueError> {
+        let sp = mistique_obs::span!(self.obs, "reclaim", budget = budget_bytes);
+        let trace_id = sp.trace_id();
+        let used_before = self.storage_budget_used();
+
+        let mut demotions: Vec<DemotionRecord> = Vec::new();
+        let mut purged: Vec<String> = Vec::new();
+        if budget_bytes > 0 {
+            // Ladder is finite (≤ 4 steps per intermediate), but keep a hard
+            // cap so a pathological accounting bug cannot spin forever.
+            let mut steps_left = self.meta.n_intermediates() * 4 + 8;
+            while self.storage_budget_used() > budget_bytes && steps_left > 0 {
+                steps_left -= 1;
+                let Some((victim, gamma)) = self.coldest_materialized() else {
+                    break;
+                };
+                let before = self.meta.intermediate(&victim).unwrap().clone();
+                match next_demotion(before.scheme.value) {
+                    Some(next) => {
+                        let bytes_after = self.demote_to(&victim, next)?;
+                        self.obs.counter("adaptive.demotions").inc();
+                        demotions.push(DemotionRecord {
+                            intermediate: victim,
+                            from: before.scheme.value.name(),
+                            to: next.name(),
+                            bytes_before: before.stored_bytes,
+                            bytes_after,
+                            gamma,
+                        });
+                    }
+                    None => {
+                        self.purge_intermediate(&victim)?;
+                        self.obs.counter("adaptive.purges").inc();
+                        demotions.push(DemotionRecord {
+                            intermediate: victim.clone(),
+                            from: before.scheme.value.name(),
+                            to: "PURGED".to_string(),
+                            bytes_before: before.stored_bytes,
+                            bytes_after: 0,
+                            gamma,
+                        });
+                        purged.push(victim);
+                    }
+                }
+            }
+        }
+
+        // The catalog on disk must drop demoted/purged chunk keys before
+        // compaction deletes their bytes — otherwise a crash after
+        // compaction could reopen through a manifest that references chunks
+        // that no longer exist.
+        let mut persisted = false;
+        let (compaction, compaction_skipped) = match self.persist() {
+            Ok(()) => {
+                persisted = true;
+                (Some(self.store.compact(COMPACT_LIVE_RATIO)?), None)
+            }
+            Err(MistiqueError::Invalid(msg)) if msg.contains("manifest serialize") => {
+                // No JSON serializer in this environment. Compacting is
+                // still safe when no manifest exists (nothing stale to
+                // reopen through); with a stale manifest on disk, keep the
+                // dead bytes rather than risk dangling references.
+                if self
+                    .backend
+                    .exists(&self.dir.join(crate::persist::MANIFEST_FILE))
+                {
+                    (
+                        None,
+                        Some(format!("stale manifest could not be refreshed: {msg}")),
+                    )
+                } else {
+                    self.store.flush()?;
+                    (Some(self.store.compact(COMPACT_LIVE_RATIO)?), None)
+                }
+            }
+            Err(e) => return Err(e),
+        };
+        // Compaction moved the accounting (partition totals, removed
+        // partitions); refresh the manifest so reopen sees the final state.
+        if persisted
+            && compaction
+                .as_ref()
+                .is_some_and(|c| c.partitions_rewritten + c.partitions_removed > 0)
+        {
+            self.persist()?;
+        }
+
+        let elapsed = sp.finish();
+        let mut report = ReclaimReport {
+            seq: 0,
+            budget_bytes,
+            used_before,
+            used_after: self.storage_budget_used(),
+            demotions,
+            purged,
+            compaction,
+            compaction_skipped,
+            elapsed,
+            trace_id,
+        };
+        self.obs
+            .gauge("storage.budget_used")
+            .set_u64(report.used_after);
+        // The ring stamps the sequence number; hand the caller the same
+        // seq its report carries in `reclaim_reports()`.
+        report.seq = self.reclaims.push(report.clone());
+        Ok(report)
+    }
+
+    /// Budget hook run after every materialization (logging bursts and
+    /// adaptive promotions): reclaim only when the accounting is actually
+    /// over a configured budget.
+    pub(crate) fn reclaim_if_over_budget(&mut self) -> Result<(), MistiqueError> {
+        let budget = self.config.storage_budget_bytes;
+        if budget > 0 && self.storage_budget_used() > budget {
+            self.reclaim()?;
+        }
+        Ok(())
+    }
+
+    /// Up to the last `n` reclaim reports, oldest first.
+    pub fn reclaim_reports(&self, n: usize) -> Vec<ReclaimReport> {
+        self.reclaims.recent(n).into_iter().cloned().collect()
+    }
+
+    /// The most recent reclaim report, if any is retained.
+    pub fn last_reclaim(&self) -> Option<&ReclaimReport> {
+        self.reclaims.last()
+    }
+
+    /// The materialized intermediate with the lowest γ (Eq 5) at the
+    /// *current* query count — the next demotion victim. Deterministic:
+    /// models and stages are walked in sorted order and ties keep the first.
+    fn coldest_materialized(&self) -> Option<(String, f64)> {
+        let mut best: Option<(String, f64)> = None;
+        for model_id in self.meta.model_ids() {
+            let Some(model) = self.meta.model(&model_id) else {
+                continue;
+            };
+            for m in self.meta.intermediates_of(&model_id) {
+                if !m.materialized {
+                    continue;
+                }
+                let g = self.cost.gamma_now(model, m);
+                if best.as_ref().is_none_or(|(_, bg)| g < *bg) {
+                    best = Some((m.id.clone(), g));
+                }
+            }
+        }
+        best
+    }
+
+    /// Demote a materialized intermediate one rung down the ladder. Returns
+    /// the scheme it now uses, or `None` when it is already on the last rung
+    /// (use [`Mistique::purge_intermediate`] for the final step).
+    pub fn demote_one_step(
+        &mut self,
+        intermediate_id: &str,
+    ) -> Result<Option<ValueScheme>, MistiqueError> {
+        let meta = self
+            .meta
+            .intermediate(intermediate_id)
+            .ok_or_else(|| MistiqueError::UnknownIntermediate(intermediate_id.into()))?;
+        if !meta.materialized {
+            return Err(MistiqueError::Invalid(format!(
+                "{intermediate_id} is not materialized; nothing to demote"
+            )));
+        }
+        match next_demotion(meta.scheme.value) {
+            Some(next) => {
+                self.demote_to(intermediate_id, next)?;
+                self.obs.counter("adaptive.demotions").inc();
+                Ok(Some(next))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Re-encode a materialized intermediate under `next` and overwrite its
+    /// chunks in place (same keys, so the displaced bytes become dead chunks
+    /// for compaction). Returns the new stored byte count.
+    fn demote_to(
+        &mut self,
+        intermediate_id: &str,
+        next: ValueScheme,
+    ) -> Result<u64, MistiqueError> {
+        let meta = self.meta.intermediate(intermediate_id).unwrap().clone();
+        let mut sp = mistique_obs::span!(self.obs, "reclaim.demote", interm = intermediate_id);
+        sp.attr("to", next.name());
+
+        // Decode the currently stored representation (dequantizing through
+        // the current scheme), then re-encode column by column so the
+        // original column names — and therefore the chunk keys — survive.
+        let frame = self.read_stored(&meta, None, meta.n_rows)?;
+        let cols: Vec<(String, Vec<f32>)> = frame
+            .columns()
+            .iter()
+            .map(|c| {
+                let vals: Vec<f32> = c.data.to_f64().iter().map(|&v| v as f32).collect();
+                (c.name.clone(), vals)
+            })
+            .collect();
+
+        // Schemes with fitted state share one fit across all columns, like
+        // the capture path. NaN/inf values (missing data, f16 overflow from
+        // an earlier LP_QT step) are excluded from the fit — the quantile
+        // sort cannot order NaN.
+        let finite_sample = || -> Vec<f32> {
+            let mut sample: Vec<f32> = cols
+                .iter()
+                .flat_map(|(_, vals)| vals.iter().copied())
+                .filter(|v| v.is_finite())
+                .collect();
+            if sample.is_empty() {
+                sample.push(0.0);
+            }
+            sample
+        };
+        let mut quantizer: Option<Vec<u8>> = None;
+        let mut threshold: Option<f32> = None;
+        match next {
+            ValueScheme::Kbit { bits } => {
+                quantizer = Some(KbitQuantizer::fit(&finite_sample(), bits).to_bytes());
+            }
+            ValueScheme::Threshold { pct } => {
+                threshold = Some(ThresholdQuantizer::fit(&finite_sample(), pct).threshold());
+            }
+            ValueScheme::Full | ValueScheme::Lp => {}
+        }
+        let kbit = quantizer
+            .as_deref()
+            .map(|b| KbitQuantizer::from_bytes(b).expect("round-trips its own serialization"));
+
+        let encoded: Vec<Column> = cols
+            .into_iter()
+            .map(|(name, vals)| {
+                let data = match next {
+                    ValueScheme::Full => ColumnData::F32(vals),
+                    ValueScheme::Lp => {
+                        let bytes = encode_f16(&vals);
+                        let bits: Vec<u16> = bytes
+                            .chunks_exact(2)
+                            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+                            .collect();
+                        ColumnData::F16(bits)
+                    }
+                    ValueScheme::Kbit { .. } => {
+                        ColumnData::U8(kbit.as_ref().unwrap().encode_codes(&vals))
+                    }
+                    ValueScheme::Threshold { .. } => {
+                        let t = threshold.unwrap();
+                        ColumnData::Bool(vals.iter().map(|&v| v > t).collect())
+                    }
+                };
+                Column::new(name, data)
+            })
+            .collect();
+        let encoded = DataFrame::from_columns(encoded);
+
+        self.qcache.invalidate(intermediate_id);
+        let row_block_size = self.config.row_block_size;
+        let mut bytes = 0u64;
+        for (block, column, chunk) in encoded.chunks(row_block_size) {
+            let key = ChunkKey::new(intermediate_id, column, block as u32);
+            let (_, serialized) =
+                self.store
+                    .put_chunk_sized(key, &chunk, PlacementPolicy::ByIntermediate, true)?;
+            bytes += serialized;
+        }
+
+        let m = self.meta.intermediate_mut(intermediate_id).unwrap();
+        m.scheme = CaptureScheme {
+            value: next,
+            pool_sigma: meta.scheme.pool_sigma,
+        };
+        m.stored_bytes = bytes;
+        m.quantizer = quantizer;
+        m.threshold = threshold;
+        sp.finish();
+        Ok(bytes)
+    }
+
+    /// Purge a materialized intermediate: retract every chunk from the store
+    /// and flip `materialized = false`. Future fetches transparently re-run
+    /// the model, and the ordinary γ test may re-promote it. The last stored
+    /// size is kept as the γ size estimate. Returns the bytes whose last
+    /// reference was released (they become dead until compaction).
+    pub fn purge_intermediate(&mut self, intermediate_id: &str) -> Result<u64, MistiqueError> {
+        let meta = self
+            .meta
+            .intermediate(intermediate_id)
+            .ok_or_else(|| MistiqueError::UnknownIntermediate(intermediate_id.into()))?;
+        if !meta.materialized {
+            return Ok(0);
+        }
+        let mut sp = mistique_obs::span!(self.obs, "reclaim.purge", interm = intermediate_id);
+        self.qcache.invalidate(intermediate_id);
+        let outcome = self.store.retract_intermediate(intermediate_id);
+        let m = self.meta.intermediate_mut(intermediate_id).unwrap();
+        m.materialized = false;
+        m.quantizer = None;
+        m.threshold = None;
+        sp.attr("bytes_released", outcome.bytes_released);
+        sp.finish();
+        Ok(outcome.bytes_released)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_descends_to_purge() {
+        let mut s = ValueScheme::Full;
+        let mut names = vec![s.name()];
+        while let Some(n) = next_demotion(s) {
+            s = n;
+            names.push(s.name());
+        }
+        assert_eq!(names, vec!["FULL", "LP_QT", "8BIT_QT", "THRESHOLD_QT"]);
+        assert!(next_demotion(s).is_none(), "threshold is the last rung");
+    }
+}

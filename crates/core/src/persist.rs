@@ -35,7 +35,7 @@ struct Manifest {
     catalog: mistique_store::datastore::StoreCatalog,
 }
 
-const MANIFEST_FILE: &str = "mistique_manifest.json";
+pub(crate) const MANIFEST_FILE: &str = "mistique_manifest.json";
 
 impl Mistique {
     /// Flush all open partitions and write the manifest so the directory can

@@ -379,7 +379,8 @@ impl Mistique {
 
     /// Read path: gather the chunks of each requested column across the
     /// RowBlocks covering rows `[0, n)`, decode (dequantize), and stitch.
-    fn read_stored(
+    /// Also the storage manager's decode step before a demotion re-encode.
+    pub(crate) fn read_stored(
         &mut self,
         meta: &crate::metadata::IntermediateMeta,
         columns: Option<&[&str]>,
@@ -534,9 +535,14 @@ impl Mistique {
             let full = frame.n_rows() == meta.n_rows;
             if !meta.materialized && full {
                 let model = self.meta.model(&meta.model_id).unwrap().clone();
-                // γ uses the query count including this query.
+                // γ uses the query count including this query — exactly
+                // once: `n_queries` is bumped only after the fetch
+                // completes, so the projection is the sole +1.
                 let mut projected = meta.clone();
                 projected.n_queries += 1;
+                self.obs
+                    .gauge("adaptive.decision_queries")
+                    .set_u64(projected.n_queries);
                 let gamma = self
                     .cost
                     .gamma(&model, &projected, meta.stored_bytes.max(1));
@@ -556,6 +562,10 @@ impl Mistique {
                     };
                     m.quantizer = None;
                     m.threshold = None;
+                    // The promotion may have pushed the store past the
+                    // configured budget; demote/purge colder intermediates
+                    // to make room.
+                    self.reclaim_if_over_budget()?;
                 }
             }
         }

@@ -1,13 +1,15 @@
 //! Per-query EXPLAIN reports: every diagnostic fetch records what the cost
 //! model predicted, which plan the planner chose, and where the time and
 //! bytes actually went — the per-query counterpart of the aggregate
-//! counters in `mistique-obs`.
+//! counters in `mistique-obs`. The same bounded-ring machinery retains
+//! [`ReclaimReport`]s, the storage-manager counterpart produced by every
+//! `Mistique::reclaim` pass.
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use mistique_store::ReadAttribution;
+use mistique_store::{CompactionReport, ReadAttribution};
 
 /// Which plan served a query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -146,6 +148,121 @@ impl QueryReport {
     }
 }
 
+/// One ladder action taken by a reclaim pass: an intermediate demoted to a
+/// cheaper value scheme, or purged outright (`to == "PURGED"`).
+#[derive(Clone, Debug)]
+pub struct DemotionRecord {
+    /// The intermediate acted on.
+    pub intermediate: String,
+    /// Scheme before the step (e.g. `FULL`).
+    pub from: String,
+    /// Scheme after the step (e.g. `LP_QT`), or `PURGED`.
+    pub to: String,
+    /// Stored bytes before the step.
+    pub bytes_before: u64,
+    /// Stored bytes after the step (0 for a purge).
+    pub bytes_after: u64,
+    /// γ (Eq 5) of the victim at the moment it was chosen — the coldest
+    /// materialized intermediate of the pass.
+    pub gamma: f64,
+}
+
+/// The record of one storage-reclamation pass (`Mistique::reclaim`): which
+/// intermediates were demoted or purged to get back under the byte budget,
+/// and what partition compaction physically recovered. Retained in its own
+/// bounded ring next to the query reports.
+#[derive(Clone, Debug)]
+pub struct ReclaimReport {
+    /// Monotone sequence number within the session.
+    pub seq: u64,
+    /// Budget the pass enforced (0 = unlimited: demotion loop skipped,
+    /// compaction still runs).
+    pub budget_bytes: u64,
+    /// Materialized bytes (per-intermediate accounting) before the pass.
+    pub used_before: u64,
+    /// Materialized bytes after the pass.
+    pub used_after: u64,
+    /// Ladder steps taken, in order (purges appear here too).
+    pub demotions: Vec<DemotionRecord>,
+    /// Intermediates flipped to `materialized = false`; future queries
+    /// re-run them and may re-promote.
+    pub purged: Vec<String>,
+    /// What partition compaction did, when it ran.
+    pub compaction: Option<CompactionReport>,
+    /// Why compaction was skipped, when it was (e.g. a stale on-disk
+    /// manifest that could not be refreshed first).
+    pub compaction_skipped: Option<String>,
+    /// Wall time of the whole pass.
+    pub elapsed: Duration,
+    /// Trace id of the pass's root span.
+    pub trace_id: u64,
+}
+
+impl ReclaimReport {
+    /// Whether the pass left the system within budget (trivially true for
+    /// an unlimited budget).
+    pub fn within_budget(&self) -> bool {
+        self.budget_bytes == 0 || self.used_after <= self.budget_bytes
+    }
+
+    /// Render the report as a small aligned text block.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(512);
+        let budget = if self.budget_bytes == 0 {
+            "unlimited".to_string()
+        } else {
+            format!("{} B", self.budget_bytes)
+        };
+        let _ = writeln!(
+            out,
+            "reclaim #{}: budget {budget}, used {} B -> {} B ({})",
+            self.seq,
+            self.used_before,
+            self.used_after,
+            if self.within_budget() {
+                "within budget"
+            } else {
+                "OVER BUDGET"
+            }
+        );
+        for d in &self.demotions {
+            let _ = writeln!(
+                out,
+                "  {:<8} : {}  {} -> {}  ({} B -> {} B, gamma {:.3e})",
+                if d.to == "PURGED" { "purge" } else { "demote" },
+                d.intermediate,
+                d.from,
+                d.to,
+                d.bytes_before,
+                d.bytes_after,
+                d.gamma
+            );
+        }
+        match (&self.compaction, &self.compaction_skipped) {
+            (Some(c), _) => {
+                let _ = writeln!(
+                    out,
+                    "  compact  : {} scanned, {} rewritten, {} removed, {} B / {} chunks reclaimed",
+                    c.partitions_scanned,
+                    c.partitions_rewritten,
+                    c.partitions_removed,
+                    c.bytes_reclaimed,
+                    c.chunks_dropped
+                );
+            }
+            (None, Some(reason)) => {
+                let _ = writeln!(out, "  compact  : skipped ({reason})");
+            }
+            (None, None) => {
+                let _ = writeln!(out, "  compact  : not run");
+            }
+        }
+        let _ = writeln!(out, "  elapsed  : {}", fmt_secs(self.elapsed.as_secs_f64()));
+        let _ = writeln!(out, "  trace    : {}", self.trace_id);
+        out
+    }
+}
+
 fn fmt_secs(s: f64) -> String {
     if !s.is_finite() {
         format!("{s}")
@@ -158,19 +275,42 @@ fn fmt_secs(s: f64) -> String {
     }
 }
 
-/// Bounded ring of recent [`QueryReport`]s, oldest first.
+/// A report type that carries a session-monotone sequence number the ring
+/// stamps at push time.
+pub trait Stamped {
+    /// Overwrite the report's sequence number.
+    fn set_seq(&mut self, seq: u64);
+}
+
+impl Stamped for QueryReport {
+    fn set_seq(&mut self, seq: u64) {
+        self.seq = seq;
+    }
+}
+
+impl Stamped for ReclaimReport {
+    fn set_seq(&mut self, seq: u64) {
+        self.seq = seq;
+    }
+}
+
+/// Bounded ring of recent reports, oldest first. Every pushed report gets
+/// the next sequence number even when retention is disabled.
 #[derive(Debug)]
-pub struct ReportRing {
-    ring: VecDeque<QueryReport>,
+pub struct SeqRing<T> {
+    ring: VecDeque<T>,
     capacity: usize,
     next_seq: u64,
 }
 
-impl ReportRing {
+/// The ring of per-query EXPLAIN reports.
+pub type ReportRing = SeqRing<QueryReport>;
+
+impl<T: Stamped> SeqRing<T> {
     /// A ring retaining up to `capacity` reports (0 disables retention;
     /// sequence numbers still advance).
-    pub fn new(capacity: usize) -> ReportRing {
-        ReportRing {
+    pub fn new(capacity: usize) -> SeqRing<T> {
+        SeqRing {
             ring: VecDeque::with_capacity(capacity.min(1024)),
             capacity,
             next_seq: 0,
@@ -179,10 +319,10 @@ impl ReportRing {
 
     /// Stamp the report with the next sequence number and retain it.
     /// Returns the assigned sequence number.
-    pub(crate) fn push(&mut self, mut report: QueryReport) -> u64 {
+    pub(crate) fn push(&mut self, mut report: T) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        report.seq = seq;
+        report.set_seq(seq);
         if self.capacity == 0 {
             return seq;
         }
@@ -194,12 +334,12 @@ impl ReportRing {
     }
 
     /// The most recent report.
-    pub fn last(&self) -> Option<&QueryReport> {
+    pub fn last(&self) -> Option<&T> {
         self.ring.back()
     }
 
     /// Up to the last `n` reports, oldest first.
-    pub fn recent(&self, n: usize) -> Vec<&QueryReport> {
+    pub fn recent(&self, n: usize) -> Vec<&T> {
         let skip = self.ring.len().saturating_sub(n);
         self.ring.iter().skip(skip).collect()
     }
@@ -283,6 +423,77 @@ mod tests {
         assert_eq!(recent[1].intermediate, "i4");
         assert_eq!(ring.last().unwrap().seq, 4);
         assert_eq!(ring.recent(1).len(), 1);
+    }
+
+    #[test]
+    fn reclaim_report_renders_ladder_and_compaction() {
+        let r = ReclaimReport {
+            seq: 3,
+            budget_bytes: 4096,
+            used_before: 10_000,
+            used_after: 3_500,
+            demotions: vec![
+                DemotionRecord {
+                    intermediate: "m.i3".into(),
+                    from: "FULL".into(),
+                    to: "LP_QT".into(),
+                    bytes_before: 5_000,
+                    bytes_after: 2_500,
+                    gamma: 1.5e-7,
+                },
+                DemotionRecord {
+                    intermediate: "m.i1".into(),
+                    from: "THRESHOLD_QT".into(),
+                    to: "PURGED".into(),
+                    bytes_before: 1_200,
+                    bytes_after: 0,
+                    gamma: 2.0e-9,
+                },
+            ],
+            purged: vec!["m.i1".into()],
+            compaction: Some(CompactionReport {
+                partitions_scanned: 4,
+                partitions_rewritten: 2,
+                partitions_removed: 1,
+                bytes_reclaimed: 3_400,
+                chunks_dropped: 7,
+            }),
+            compaction_skipped: None,
+            elapsed: Duration::from_millis(12),
+            trace_id: 99,
+        };
+        assert!(r.within_budget());
+        let text = r.render();
+        assert!(text.contains("reclaim #3"));
+        assert!(text.contains("within budget"));
+        assert!(text.contains("demote"));
+        assert!(text.contains("FULL -> LP_QT"));
+        assert!(text.contains("purge"));
+        assert!(text.contains("PURGED"));
+        assert!(text.contains("2 rewritten, 1 removed"));
+        assert!(text.contains("trace    : 99"));
+    }
+
+    #[test]
+    fn reclaim_reports_share_the_ring_machinery() {
+        let mut ring: SeqRing<ReclaimReport> = SeqRing::new(2);
+        for _ in 0..3 {
+            ring.push(ReclaimReport {
+                seq: 0,
+                budget_bytes: 0,
+                used_before: 1,
+                used_after: 1,
+                demotions: vec![],
+                purged: vec![],
+                compaction: None,
+                compaction_skipped: None,
+                elapsed: Duration::ZERO,
+                trace_id: 0,
+            });
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.last().unwrap().seq, 2);
+        assert!(ring.last().unwrap().within_budget());
     }
 
     #[test]

@@ -72,6 +72,13 @@ pub struct MistiqueConfig {
     /// when its smoothed predicted/actual ratio leaves
     /// `[1/tolerance, tolerance]`.
     pub drift_tolerance: f64,
+    /// Storage byte budget for materialized intermediates (0 = unlimited,
+    /// the default). When a materialization pushes the accounting past the
+    /// budget, the storage manager runs a reclaim pass: coldest-γ
+    /// intermediates are demoted down the quantization ladder
+    /// (FULL → LP_QT → 8BIT_QT → THRESHOLD_QT) and eventually purged, then
+    /// under-occupied partitions are compacted. See `Mistique::reclaim`.
+    pub storage_budget_bytes: u64,
 }
 
 impl Default for MistiqueConfig {
@@ -86,6 +93,7 @@ impl Default for MistiqueConfig {
             span_ring_capacity: mistique_obs::DEFAULT_RING_CAPACITY,
             report_retention: 64,
             drift_tolerance: 4.0,
+            storage_budget_bytes: 0,
         }
     }
 }
@@ -114,6 +122,8 @@ pub struct Mistique {
     pub(crate) last_recovery: Option<RecoveryReport>,
     /// Ring of per-query EXPLAIN reports (`mistique explain`).
     pub(crate) reports: crate::report::ReportRing,
+    /// Ring of storage-reclamation reports (`mistique reclaim`).
+    pub(crate) reclaims: crate::report::SeqRing<crate::report::ReclaimReport>,
     /// EWMA monitor of cost-model prediction quality per query class.
     pub(crate) drift: crate::cost::DriftMonitor,
     /// Label of the diagnostic query currently executing, if any — set by
@@ -164,6 +174,7 @@ impl Mistique {
         let mut qcache = crate::qcache::QueryCache::new(config.query_cache_bytes);
         qcache.attach_obs(&obs);
         let reports = crate::report::ReportRing::new(config.report_retention);
+        let reclaims = crate::report::SeqRing::new(config.report_retention);
         let drift = crate::cost::DriftMonitor::new(0.2, config.drift_tolerance);
         Ok(Mistique {
             dir: dir.as_ref().to_path_buf(),
@@ -179,6 +190,7 @@ impl Mistique {
             backend,
             last_recovery: None,
             reports,
+            reclaims,
             drift,
             query_label: None,
         })
@@ -343,6 +355,12 @@ impl Mistique {
         self.obs
             .gauge("cost_model.drift")
             .set(self.drift.worst_drift());
+        self.obs
+            .gauge("storage.budget_bytes")
+            .set_u64(self.config.storage_budget_bytes);
+        self.obs
+            .gauge("storage.budget_used")
+            .set_u64(self.storage_budget_used());
     }
 
     /// Up to the last `n` per-query EXPLAIN reports, oldest first.
@@ -431,6 +449,10 @@ impl Mistique {
             } => self.log_dnn(&source, arch, *seed, *epoch, data)?,
         }
         self.log_time.insert(model_id.to_string(), sp.finish());
+        // Budget check after every materialization burst: logging under
+        // StoreAll/Dedup may have pushed the store past the configured
+        // budget; reclaim demotes/purges cold intermediates to get back.
+        self.reclaim_if_over_budget()?;
         Ok(())
     }
 
@@ -489,6 +511,7 @@ impl Mistique {
         for id in dnn {
             self.log_intermediates(&id)?;
         }
+        self.reclaim_if_over_budget()?;
         Ok(())
     }
 

@@ -107,6 +107,19 @@ impl DiskStore {
         self.backend.exists(&self.path_of(id))
     }
 
+    /// Remove a partition file (compaction of a fully-dead partition). The
+    /// removal is made durable with a directory fsync; removing a partition
+    /// that does not exist is not an error (idempotent, like the sweep).
+    pub fn remove(&mut self, id: PartitionId) -> Result<(), StoreError> {
+        let path = self.path_of(id);
+        if !self.backend.exists(&path) {
+            return Ok(());
+        }
+        self.backend.remove_file(&path)?;
+        self.backend.sync_dir(&self.dir)?;
+        Ok(())
+    }
+
     /// Recovery sweep over the directory: remove orphaned `*.tmp` files left
     /// by a crash mid-write, verify every `part_*.bin` integrity trailer,
     /// and rename failing partitions aside (`.quarantined`) so one bad file
@@ -194,6 +207,19 @@ mod tests {
         // Overwrite shrinks the file.
         store.write(1, &[0u8; 10]).unwrap();
         assert_eq!(store.disk_bytes().unwrap(), 60);
+    }
+
+    #[test]
+    fn remove_deletes_file_and_is_idempotent() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut store = DiskStore::open(dir.path()).unwrap();
+        store.write(4, &[1u8; 32]).unwrap();
+        assert!(store.contains(4));
+        store.remove(4).unwrap();
+        assert!(!store.contains(4));
+        assert!(matches!(store.read(4), Err(StoreError::NotFound)));
+        store.remove(4).unwrap(); // second removal is a no-op
+        assert_eq!(store.disk_bytes().unwrap(), 0);
     }
 
     #[test]

@@ -26,8 +26,8 @@ pub mod partition;
 
 pub use backend::{FaultyFs, RealFs, StorageBackend, TornWrite};
 pub use datastore::{
-    ChunkKey, DataStore, DataStoreConfig, PlacementPolicy, ReadAttribution, RecoveryReport,
-    StoreStats,
+    ChunkKey, CompactionReport, DataStore, DataStoreConfig, PlacementPolicy, ReadAttribution,
+    RecoveryReport, RetractOutcome, StoreStats,
 };
 pub use disk::DiskStore;
 pub use lru::{LruCache, LruList};

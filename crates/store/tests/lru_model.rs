@@ -237,6 +237,63 @@ fn lru_cache_matches_vecdeque_model() {
     }
 }
 
+/// Overwrite-heavy accounting: re-inserting a key must charge the new size
+/// and refund the old one exactly — `used_bytes` is always the sum of the
+/// *current* entry sizes, never a running total of historical inserts.
+#[test]
+fn overwrites_replace_accounting_exactly() {
+    const CAP: usize = 1 << 16;
+    let mut real: LruCache<u32, u64> = LruCache::new(CAP);
+    let mut rng = Lcg(555);
+    let mut sizes = [0usize; 8];
+    let mut present = [false; 8];
+
+    // Phase 1: churn 8 keys through growing and shrinking sizes without
+    // ever approaching capacity, so no eviction can mask a leak.
+    for step in 0..2000 {
+        let key = rng.below(8) as u32;
+        let bytes = rng.below(1000) as usize;
+        let evicted = real.insert(key, rng.next(), bytes);
+        assert!(evicted.is_empty(), "step {step}: spurious eviction");
+        sizes[key as usize] = bytes;
+        present[key as usize] = true;
+        let expected: usize = sizes
+            .iter()
+            .zip(&present)
+            .filter(|(_, &p)| p)
+            .map(|(s, _)| s)
+            .sum();
+        assert_eq!(real.used_bytes(), expected, "step {step}: accounting drift");
+    }
+
+    // Phase 2: shrink every entry to one byte. A correct refund leaves
+    // room for a capacity-minus-eight insert with zero evictions; a
+    // leaked charge forces spurious victims.
+    for k in 0..8u32 {
+        real.insert(k, 0, 1);
+        sizes[k as usize] = 1;
+    }
+    assert_eq!(real.used_bytes(), 8);
+    let evicted = real.insert(100, 0, CAP - 8);
+    assert!(
+        evicted.is_empty(),
+        "shrinking overwrites must refund their old bytes"
+    );
+    assert_eq!(real.used_bytes(), CAP);
+
+    // Phase 3: growing one entry past the remaining budget evicts in
+    // recency order, and the books still balance afterwards.
+    let evicted = real.insert(0, 0, 9);
+    assert!(!evicted.is_empty(), "growth past budget must evict");
+    let survivors: usize = (0..8u32)
+        .filter(|k| real.contains(k))
+        .map(|k| if k == 0 { 9 } else { 1 })
+        .sum::<usize>()
+        + if real.contains(&100) { CAP - 8 } else { 0 };
+    assert_eq!(real.used_bytes(), survivors);
+    assert!(real.used_bytes() <= real.capacity_bytes());
+}
+
 #[test]
 fn oversized_insert_also_drops_the_existing_entry() {
     let mut c: LruCache<u32, ()> = LruCache::new(100);

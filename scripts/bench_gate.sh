@@ -16,6 +16,20 @@ val() { # file key
   tr ',{' '\n\n' <"$1" | grep -F "\"$2\":" | head -1 | sed 's/.*://; s/[}"]//g'
 }
 
+# Reclaim-throughput smoke: always runs (no baseline needed). The bin
+# itself asserts the pass lands under budget; the gate just checks the
+# pass finished and reported a positive reclaim rate.
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+echo "== reclaim bench smoke (rows=2000, 2 pipelines) =="
+MISTIQUE_BENCH_DIR="$smoke" cargo run --release -q -p mistique-bench --bin reclaim -- \
+  --rows 2000 --pipelines 2 --reps 1
+rate=$(val "$smoke/BENCH_reclaim.json" bench.reclaim.bytes_per_sec)
+awk -v rate="$rate" 'BEGIN {
+  if (rate + 0 <= 0) { print "FAIL: reclaim pass reported no reclaimed bytes"; exit 1 }
+  printf "OK: reclaim pass sustained %.0f B/s\n", rate
+}'
+
 if [[ ! -f "$BASELINE" ]]; then
   echo "no committed $BASELINE — skipping perf gate"
   exit 0
@@ -29,7 +43,7 @@ if [[ -z "$base_rows" || -z "$base_ms" ]]; then
 fi
 
 out=$(mktemp -d)
-trap 'rm -rf "$out"' EXIT
+trap 'rm -rf "$out" "$smoke"' EXIT
 
 echo "== read_parallel bench (rows=$base_rows, reps=3, workers=4) =="
 MISTIQUE_BENCH_DIR="$out" cargo run --release -q -p mistique-bench --bin read_parallel -- \

@@ -25,7 +25,9 @@ cargo test -q -p mistique-core --test crash_safety
 cargo test -q -p mistique-core --test proptest_system
 cargo test -q -p mistique-core --test observability
 cargo test -q -p mistique-core --test explain
+cargo test -q -p mistique-core --test reclaim
 cargo test -q -p mistique-store --test lru_model
+cargo test -q -p mistique-store --test compaction
 cargo test -q -p mistique-compress --test truncation_fuzz
 cargo test -q -p mistique-compress --test proptest_roundtrip
 cargo test -q -p mistique-nn --test proptest_layers
