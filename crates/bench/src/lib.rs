@@ -193,6 +193,13 @@ pub fn write_obs_snapshot_to(
     name: &str,
     obs: &mistique_core::Obs,
 ) -> std::path::PathBuf {
+    // Fingerprint the host so perf comparisons (scripts/bench_gate.sh) can
+    // refuse to gate against a baseline captured on different hardware.
+    obs.gauge("host.cpus").set_u64(
+        std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(1),
+    );
     let path = dir.join(format!("BENCH_{name}.json"));
     match std::fs::write(&path, obs.snapshot().to_json_string()) {
         Ok(()) => println!("\nwrote perf snapshot to {}", path.display()),
@@ -238,6 +245,10 @@ mod tests {
         assert_eq!(path.file_name().unwrap(), "BENCH_unit.json");
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.contains("\"bench.test\":7"));
+        assert!(
+            body.contains("\"host.cpus\":"),
+            "every snapshot carries the host fingerprint"
+        );
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! mistique head  <dir> <intermediate> [n]    # first n rows
 //! mistique topk  <dir> <intermediate> <column> [k]
 //! mistique hist  <dir> <intermediate> <column> [buckets]
-//! mistique stats <dir> [--json <file>]       # metrics + span report
+//! mistique stats <dir> [--json <file>] [--prom <file>]
 //! mistique explain <dir> [--last <n>] [--perfetto <file>] [--flame <file>]
 //! mistique reclaim <dir> [budget_bytes]      # demote/purge cold intermediates, compact
+//! mistique timeline <dir> [--json] [--metric <name>] [--perfetto <file>]
 //! ```
 //!
 //! `reclaim` runs one storage-reclamation pass: while the materialized bytes
@@ -18,6 +19,19 @@
 //! the last rung, purged; then under-occupied partitions are compacted and
 //! the manifest re-persisted. Without an explicit budget the configured
 //! `storage_budget_bytes` applies (0 = unlimited: only compaction runs).
+//!
+//! `timeline` replays the flight recorder: the durable telemetry timeline
+//! written under `<dir>/telemetry/` at every burst boundary (logging,
+//! reclaim, recovery, query anomalies). The default view is a table of
+//! metric delta points with journal events interleaved; `--json` dumps the
+//! full timeline, `--metric` prints one metric's series, and `--perfetto`
+//! writes a Chrome-trace counter track loadable at `ui.perfetto.dev`.
+//! Unlike the other commands it needs no manifest — it reads the segments
+//! directly, so it also works on a store that never persisted.
+//!
+//! `stats --prom` writes the metric snapshot in Prometheus text exposition
+//! format 0.0.4 and validates the rendering before writing; a validation
+//! failure exits nonzero (CI uses this as a format gate).
 //!
 //! `explain` replays one read per materialized intermediate plus a sample
 //! diagnostic query, then prints the per-query EXPLAIN reports (plan chosen,
@@ -38,7 +52,7 @@ use mistique_pipeline::ZillowData;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mistique <demo|info|show|head|topk|hist|stats|explain|reclaim> <dir> [args...]\n\
+        "usage: mistique <demo|info|show|head|topk|hist|stats|explain|reclaim|timeline> <dir> [args...]\n\
          run `mistique demo /tmp/mq && mistique explain /tmp/mq` to try it"
     );
     ExitCode::FAILURE
@@ -205,6 +219,14 @@ fn run(cmd: &str, dir: &str, rest: &[String]) -> Result<(), Box<dyn std::error::
                 std::fs::write(path, sys.obs_snapshot_json().to_string())?;
                 println!("\nwrote JSON snapshot to {path}");
             }
+            if let Some(pos) = rest.iter().position(|a| a == "--prom") {
+                let path = rest.get(pos + 1).ok_or("--prom needs a file path")?;
+                let exposition = sys.render_prometheus();
+                mistique_core::validate_prometheus(&exposition)
+                    .map_err(|e| format!("prometheus exposition failed validation: {e}"))?;
+                std::fs::write(path, exposition)?;
+                println!("\nwrote Prometheus exposition to {path} (validated)");
+            }
         }
         "explain" => {
             let mut sys = open(dir)?;
@@ -282,6 +304,42 @@ fn run(cmd: &str, dir: &str, rest: &[String]) -> Result<(), Box<dyn std::error::
                 None => sys.reclaim()?,
             };
             print!("{}", report.render());
+        }
+        "timeline" => {
+            let tl = Mistique::load_timeline(dir)?;
+            if tl.points.is_empty() && tl.events.is_empty() {
+                println!(
+                    "no telemetry recorded under {dir}/telemetry \
+                     (telemetry_budget_bytes = 0, or nothing logged yet)"
+                );
+                return Ok(());
+            }
+            if let Some(pos) = rest.iter().position(|a| a == "--metric") {
+                let metric = rest.get(pos + 1).ok_or("--metric needs a metric name")?;
+                let series = tl.series(metric);
+                if series.is_empty() {
+                    let names = tl.metric_names().into_iter().collect::<Vec<_>>().join(", ");
+                    return Err(format!("metric {metric} not in timeline; have: {names}").into());
+                }
+                for (seq, t_ms, v) in series {
+                    println!("{seq}\t{t_ms}\t{v}");
+                }
+            } else if rest.iter().any(|a| a == "--json") {
+                println!("{}", tl.to_json_string());
+            } else {
+                print!("{}", tl.render_table());
+                println!(
+                    "{} points, {} events, seq <= {}",
+                    tl.points.len(),
+                    tl.events.len(),
+                    tl.max_seq().unwrap_or(0)
+                );
+            }
+            if let Some(pos) = rest.iter().position(|a| a == "--perfetto") {
+                let path = rest.get(pos + 1).ok_or("--perfetto needs a file path")?;
+                std::fs::write(path, mistique_core::counter_trace_json(&tl))?;
+                println!("wrote counter-track JSON to {path} (open at ui.perfetto.dev)");
+            }
         }
         _ => {
             usage();

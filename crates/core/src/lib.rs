@@ -59,6 +59,7 @@ pub mod qcache;
 pub mod reader;
 pub mod report;
 pub mod system;
+pub mod telemetry;
 
 pub use capture::{CaptureScheme, ValueScheme};
 pub use cost::{CostModel, DriftMonitor};
@@ -68,8 +69,12 @@ pub use error::MistiqueError;
 pub use executor::ModelSource;
 pub use manager::{next_demotion, COMPACT_LIVE_RATIO};
 pub use metadata::{IntermediateMeta, MetadataDb, ModelKind};
-pub use mistique_obs::{Counter, Gauge, Histogram, Obs, Snapshot, Span, SpanContext, SpanRecord};
-pub use mistique_store::{CompactionReport, RetractOutcome};
+pub use mistique_obs::{
+    counter_trace_json, validate_prometheus, Counter, EngineEvent, Gauge, HistPoint, Histogram,
+    Obs, RecorderStats, Snapshot, Span, SpanContext, SpanRecord, Timeline, TimelinePoint,
+};
+pub use mistique_store::{CompactionReport, RetractOutcome, TelemetryDir, TELEMETRY_SUBDIR};
 pub use reader::{FetchResult, FetchStrategy};
 pub use report::{DemotionRecord, PlanChoice, QueryReport, ReclaimReport, ReportRing, SeqRing};
 pub use system::{Mistique, MistiqueConfig, StorageStrategy};
+pub use telemetry::{INTERVAL_CAPTURE, QCACHE_STORM_EVICTIONS};

@@ -79,6 +79,12 @@ pub struct MistiqueConfig {
     /// (FULL → LP_QT → 8BIT_QT → THRESHOLD_QT) and eventually purged, then
     /// under-occupied partitions are compacted. See `Mistique::reclaim`.
     pub storage_budget_bytes: u64,
+    /// Byte budget of the on-disk telemetry timeline (the flight recorder's
+    /// segment ring under `<dir>/telemetry/`; see [`Mistique::timeline`]).
+    /// Retention is bounded by dropping the oldest segments first, and the
+    /// bytes are **not** counted against `storage_budget_bytes`. `0`
+    /// disables telemetry entirely. Default: 1 MiB.
+    pub telemetry_budget_bytes: u64,
 }
 
 impl Default for MistiqueConfig {
@@ -94,6 +100,7 @@ impl Default for MistiqueConfig {
             report_retention: 64,
             drift_tolerance: 4.0,
             storage_budget_bytes: 0,
+            telemetry_budget_bytes: 1 << 20,
         }
     }
 }
@@ -130,6 +137,9 @@ pub struct Mistique {
     /// `with_query_label` so the reader can attribute fetches to the
     /// outermost diagnostic (`diag.topk`, …) instead of a bare `fetch`.
     pub(crate) query_label: Option<String>,
+    /// Flight recorder (telemetry timeline + event journal), when enabled
+    /// by `telemetry_budget_bytes`. See [`crate::telemetry`].
+    pub(crate) telemetry: Option<crate::telemetry::TelemetryState>,
 }
 
 impl Mistique {
@@ -176,6 +186,7 @@ impl Mistique {
         let reports = crate::report::ReportRing::new(config.report_retention);
         let reclaims = crate::report::SeqRing::new(config.report_retention);
         let drift = crate::cost::DriftMonitor::new(0.2, config.drift_tolerance);
+        let telemetry = crate::telemetry::TelemetryState::create(&config, &backend, dir.as_ref());
         Ok(Mistique {
             dir: dir.as_ref().to_path_buf(),
             config,
@@ -193,6 +204,7 @@ impl Mistique {
             reclaims,
             drift,
             query_label: None,
+            telemetry,
         })
     }
 
@@ -345,7 +357,7 @@ impl Mistique {
 
     /// Refresh gauges that mirror pull-style state (cost-model calibration,
     /// catalog sizes) so snapshots always carry current values.
-    fn sync_obs_gauges(&self) {
+    pub(crate) fn sync_obs_gauges(&self) {
         self.obs
             .gauge("cost.read_bandwidth")
             .set(self.cost.read_bandwidth);
@@ -378,8 +390,11 @@ impl Mistique {
         &self.drift
     }
 
-    /// Retain a finished query report (reader paths call this).
+    /// Retain a finished query report (reader paths call this). Also feeds
+    /// the flight recorder's query-path anomaly watch (plan flips, drift
+    /// rising edges, query-cache eviction storms).
     pub(crate) fn push_report(&mut self, report: crate::report::QueryReport) {
+        self.telemetry_observe_report(&report);
         self.reports.push(report);
     }
 
@@ -453,6 +468,7 @@ impl Mistique {
         // StoreAll/Dedup may have pushed the store past the configured
         // budget; reclaim demotes/purges cold intermediates to get back.
         self.reclaim_if_over_budget()?;
+        self.telemetry_capture("log");
         Ok(())
     }
 
@@ -512,6 +528,7 @@ impl Mistique {
             self.log_intermediates(&id)?;
         }
         self.reclaim_if_over_budget()?;
+        self.telemetry_capture("log");
         Ok(())
     }
 

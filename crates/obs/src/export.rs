@@ -39,7 +39,7 @@ impl Snapshot {
 
     /// Histogram summary, zeroed when absent.
     pub fn histogram(&self, name: &str) -> HistSummary {
-        self.histograms.get(name).copied().unwrap_or_default()
+        self.histograms.get(name).cloned().unwrap_or_default()
     }
 
     /// Span aggregate, zeroed when absent.
@@ -70,8 +70,8 @@ impl Snapshot {
             for (name, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "  {name:<w$}  n={} mean={:.1} p50={} p90={} p99={} max={}",
-                    h.count, h.mean, h.p50, h.p90, h.p99, h.max
+                    "  {name:<w$}  n={} mean={:.1} p50={} p90={} p95={} p99={} max={}",
+                    h.count, h.mean, h.p50, h.p90, h.p95, h.p99, h.max
                 );
             }
         }
@@ -136,9 +136,16 @@ impl Snapshot {
             push_f64(out, h.mean);
             let _ = write!(
                 out,
-                ",\"p50\":{},\"p90\":{},\"p99\":{}}}",
-                h.p50, h.p90, h.p99
+                ",\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                h.p50, h.p90, h.p95, h.p99
             );
+            for (i, b) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{},{}]", b.le, b.count);
+            }
+            out.push_str("]}");
         });
         out.push_str("},\"spans\":{");
         push_entries(&mut out, self.spans.iter(), |out, s| {
@@ -191,6 +198,221 @@ impl Snapshot {
         out.push_str("]}");
         out
     }
+
+    /// Render the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4) — what a future `mistique-server` would serve at
+    /// `/metrics`, and what `mistique stats --prom` writes today.
+    ///
+    /// Counters become `<name>_total` counter families, gauges map 1:1, and
+    /// histograms expand into cumulative `_bucket{le="..."}` series plus
+    /// `_sum` and `_count` (bucket bounds come from the log-linear buckets
+    /// actually hit, so the series is exact, not re-bucketed). Span
+    /// aggregates are duration histograms in disguise and are exported as
+    /// `<name>_duration_nanoseconds` summaries via gauges for the quantiles.
+    /// Every name is prefixed `mistique_` and sanitized (dots become
+    /// underscores).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        for (name, v) in &self.counters {
+            let n = format!("{}_total", prom_name(name));
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {}", prom_f64(*v));
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cum = 0u64;
+            for b in &h.buckets {
+                cum += b.count;
+                let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cum}", b.le);
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        for (name, s) in &self.spans {
+            let n = format!("{}_duration_nanoseconds", prom_name(name));
+            let _ = writeln!(out, "# TYPE {n}_count counter");
+            let _ = writeln!(out, "{n}_count {}", s.count);
+            let _ = writeln!(out, "# TYPE {n}_sum counter");
+            let _ = writeln!(out, "{n}_sum {}", s.total_ns);
+            let _ = writeln!(out, "# TYPE {n}_p99 gauge");
+            let _ = writeln!(out, "{n}_p99 {}", s.p99_ns);
+        }
+        out
+    }
+}
+
+/// Map a metric name onto the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`), prefixed with `mistique_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 9);
+    out.push_str("mistique_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Prometheus value rendering: finite floats as-is, non-finite values use
+/// the exposition spelling (`NaN`, `+Inf`, `-Inf`).
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Validate a Prometheus text exposition document: every sample line must
+/// parse (`name{labels} value`), every sample must be preceded by a `# TYPE`
+/// declaration covering it, and histogram families must have monotone
+/// cumulative buckets whose `+Inf` bucket equals `_count`.
+///
+/// This is the CI gate for the `/metrics` surface — dependency-free, so it
+/// deliberately covers only the subset the renderer emits (no timestamps,
+/// no exemplars).
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    use std::collections::HashMap;
+    // Metric family name -> declared type.
+    let mut types: HashMap<String, String> = HashMap::new();
+    // Histogram family -> (last cumulative bucket, +Inf bucket, count).
+    let mut hist_state: HashMap<String, (u64, Option<u64>, Option<u64>)> = HashMap::new();
+
+    let valid_name = |s: &str| -> bool {
+        !s.is_empty()
+            && s.chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && s.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    };
+
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts.next().unwrap_or("");
+                let ty = parts.next().unwrap_or("");
+                if !valid_name(name) {
+                    return Err(format!("line {lineno}: invalid metric name in TYPE"));
+                }
+                if !matches!(
+                    ty,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {lineno}: unknown type {ty:?}"));
+                }
+                if types.insert(name.to_string(), ty.to_string()).is_some() {
+                    return Err(format!("line {lineno}: duplicate TYPE for {name}"));
+                }
+            }
+            // HELP and other comments pass through.
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_and_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {lineno}: no value"))?;
+        if value != "NaN" && value != "+Inf" && value != "-Inf" && value.parse::<f64>().is_err() {
+            return Err(format!("line {lineno}: unparseable value {value:?}"));
+        }
+        let (name, labels) = match name_and_labels.split_once('{') {
+            Some((n, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {lineno}: unterminated label set"))?;
+                (n, Some(labels))
+            }
+            None => (name_and_labels, None),
+        };
+        if !valid_name(name) {
+            return Err(format!("line {lineno}: invalid sample name {name:?}"));
+        }
+        let mut le: Option<String> = None;
+        if let Some(labels) = labels {
+            for pair in labels.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {lineno}: malformed label {pair:?}"))?;
+                if !valid_name(k) {
+                    return Err(format!("line {lineno}: invalid label name {k:?}"));
+                }
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {lineno}: unquoted label value {v:?}"))?;
+                if k == "le" {
+                    le = Some(v.to_string());
+                }
+            }
+        }
+        // The sample must belong to a declared family: either its own name,
+        // or a histogram family via the _bucket/_sum/_count suffixes.
+        let family = ["_bucket", "_sum", "_count"].iter().find_map(|suf| {
+            let base = name.strip_suffix(suf)?;
+            (types.get(base).map(String::as_str) == Some("histogram")).then(|| base.to_string())
+        });
+        match family {
+            Some(base) => {
+                let st = hist_state.entry(base.clone()).or_insert((0, None, None));
+                if name.ends_with("_bucket") {
+                    let le = le.ok_or_else(|| {
+                        format!("line {lineno}: histogram bucket without le label")
+                    })?;
+                    let cum: u64 = value
+                        .parse()
+                        .map_err(|_| format!("line {lineno}: non-integer bucket count"))?;
+                    if cum < st.0 {
+                        return Err(format!(
+                            "line {lineno}: bucket counts not cumulative for {base}"
+                        ));
+                    }
+                    st.0 = cum;
+                    if le == "+Inf" {
+                        st.1 = Some(cum);
+                    } else if le.parse::<f64>().is_err() {
+                        return Err(format!("line {lineno}: invalid le bound {le:?}"));
+                    }
+                } else if name.ends_with("_count") {
+                    st.2 = value.parse().ok();
+                }
+            }
+            None => {
+                if !types.contains_key(name) {
+                    return Err(format!("line {lineno}: sample {name} has no TYPE"));
+                }
+            }
+        }
+    }
+    for (base, (_, inf, count)) in &hist_state {
+        match (inf, count) {
+            (Some(i), Some(c)) if i == c => {}
+            (Some(_), Some(_)) => {
+                return Err(format!("histogram {base}: +Inf bucket != _count"));
+            }
+            _ => return Err(format!("histogram {base}: missing +Inf bucket or _count")),
+        }
+    }
+    Ok(())
 }
 
 /// Write `"key":<value>` entries separated by commas.
@@ -334,6 +556,80 @@ mod tests {
         assert_eq!(s.gauge("missing"), 0.0);
         assert_eq!(s.histogram("missing").count, 0);
         assert_eq!(s.span("missing").count, 0);
+    }
+
+    #[test]
+    fn json_histograms_carry_quantiles_and_buckets() {
+        let json = populated().to_json_string();
+        assert!(json.contains("\"p95\":"));
+        assert!(json.contains("\"buckets\":[["));
+    }
+
+    #[test]
+    fn prometheus_exposition_passes_its_own_validator() {
+        let obs = Obs::new();
+        obs.counter("store.put.count").add(3);
+        obs.gauge("cost.read_bandwidth").set(123.5);
+        obs.gauge("weird-name!").set(f64::NAN);
+        let h = obs.histogram("store.put.ns");
+        for v in [5u64, 5, 120, 9_000, 1 << 40] {
+            h.record(v);
+        }
+        drop(obs.span("fetch.read"));
+        let text = obs.snapshot().render_prometheus();
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("# TYPE mistique_store_put_count_total counter"));
+        assert!(text.contains("mistique_store_put_count_total 3"));
+        assert!(text.contains("mistique_cost_read_bandwidth 123.5"));
+        assert!(text.contains("mistique_weird_name_ NaN"));
+        assert!(text.contains("# TYPE mistique_store_put_ns histogram"));
+        assert!(text.contains("mistique_store_put_ns_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("mistique_store_put_ns_sum"));
+        assert!(text.contains("mistique_store_put_ns_count 5"));
+        assert!(text.contains("mistique_fetch_read_duration_nanoseconds_count 1"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_end_at_count() {
+        let obs = Obs::new();
+        let h = obs.histogram("h");
+        for v in 0..100u64 {
+            h.record(v * 37);
+        }
+        let text = obs.snapshot().render_prometheus();
+        validate_prometheus(&text).unwrap();
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("mistique_h_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "cumulative counts must not decrease: {line}");
+            last = v;
+        }
+        assert_eq!(last, 100);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        for (doc, why) in [
+            ("metric_without_type 1\n", "sample with no TYPE"),
+            ("# TYPE m gauge\nm notanumber\n", "unparseable value"),
+            ("# TYPE m gauge\n9bad 1\n", "invalid sample name"),
+            ("# TYPE m wat\nm 1\n", "unknown type"),
+            ("# TYPE m gauge\nm{le=unquoted} 1\n", "unquoted label"),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 9\nh_count 3\n",
+                "non-cumulative buckets",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 9\nh_count 3\n",
+                "+Inf bucket != count",
+            ),
+            (
+                "# TYPE h histogram\nh_sum 9\nh_count 3\n",
+                "missing +Inf bucket",
+            ),
+        ] {
+            assert!(validate_prometheus(doc).is_err(), "should reject: {why}");
+        }
     }
 
     #[test]

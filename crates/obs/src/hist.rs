@@ -89,8 +89,19 @@ fn atomic_max(a: &AtomicU64, v: u64) {
     }
 }
 
+/// One non-empty histogram bucket, exported for Prometheus `_bucket`
+/// series: `le` is the bucket's inclusive upper bound (saturated to `u64`),
+/// `count` the number of values it holds (non-cumulative).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistBucket {
+    /// Inclusive upper bound of the bucket.
+    pub le: u64,
+    /// Values recorded into this bucket (non-cumulative).
+    pub count: u64,
+}
+
 /// Percentile summary of a histogram at one point in time.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct HistSummary {
     /// Number of recorded values.
     pub count: u64,
@@ -106,8 +117,13 @@ pub struct HistSummary {
     pub p50: u64,
     /// 90th percentile.
     pub p90: u64,
+    /// 95th percentile.
+    pub p95: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// The non-empty buckets, in increasing `le` order (Prometheus
+    /// exposition builds its cumulative `_bucket` series from these).
+    pub buckets: Vec<HistBucket>,
 }
 
 /// A concurrent log-linear histogram of `u64` values. Durations are recorded
@@ -185,6 +201,27 @@ impl Histogram {
         value.clamp(self.min(), self.max())
     }
 
+    /// The non-empty buckets (inclusive upper bound, count), in increasing
+    /// bound order.
+    pub fn nonzero_buckets(&self) -> Vec<HistBucket> {
+        self.0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, b)| {
+                let count = b.load(Ordering::Relaxed);
+                if count == 0 {
+                    return None;
+                }
+                let (_, hi) = bucket_bounds(idx);
+                Some(HistBucket {
+                    le: u64::try_from(hi - 1).unwrap_or(u64::MAX),
+                    count,
+                })
+            })
+            .collect()
+    }
+
     /// Point-in-time summary.
     pub fn summary(&self) -> HistSummary {
         let count = self.count();
@@ -201,7 +238,9 @@ impl Histogram {
             },
             p50: self.percentile(0.50),
             p90: self.percentile(0.90),
+            p95: self.percentile(0.95),
             p99: self.percentile(0.99),
+            buckets: self.nonzero_buckets(),
         }
     }
 }
@@ -288,9 +327,11 @@ mod tests {
         }
         let p50 = h.percentile(0.50) as f64;
         let p90 = h.percentile(0.90) as f64;
+        let p95 = h.percentile(0.95) as f64;
         let p99 = h.percentile(0.99) as f64;
         assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.07, "p50 = {p50}");
         assert!((p90 - 9_000.0).abs() / 9_000.0 < 0.07, "p90 = {p90}");
+        assert!((p95 - 9_500.0).abs() / 9_500.0 < 0.07, "p95 = {p95}");
         assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.07, "p99 = {p99}");
         let s = h.summary();
         assert_eq!(s.count, 10_000);
@@ -325,6 +366,33 @@ mod tests {
         assert_eq!(h.sum(), n * (n - 1) / 2);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), n - 1);
+    }
+
+    #[test]
+    fn summary_percentiles_are_ordered() {
+        let h = Histogram::standalone();
+        for v in [1u64, 5, 9, 100, 1_000, 50_000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn nonzero_buckets_cover_every_recorded_value() {
+        let h = Histogram::standalone();
+        for v in [0u64, 3, 3, 17, 1_000, u64::MAX] {
+            h.record(v);
+        }
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.iter().map(|b| b.count).sum::<u64>(), h.count());
+        // Bounds increase strictly and contain each value's bucket.
+        for w in buckets.windows(2) {
+            assert!(w[0].le < w[1].le);
+        }
+        assert_eq!(buckets.last().unwrap().le, u64::MAX);
+        let s = h.summary();
+        assert_eq!(s.buckets, buckets);
     }
 
     #[test]

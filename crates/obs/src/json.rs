@@ -1,0 +1,298 @@
+//! Minimal hand-rolled JSON parser (this crate is dependency-free).
+//!
+//! Just enough JSON to read back the flight recorder's own JSONL segments
+//! (see [`crate::timeline`]): objects, arrays, strings with the escapes the
+//! emitter produces, numbers, booleans, null. Numbers are kept as `f64`
+//! plus the raw text so exact `u64` sequence numbers survive round-trips.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, with the raw literal kept for lossless integer access.
+    Num(f64, String),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object (insertion order is irrelevant to the recorder).
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Object member by key.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// String payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Number as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v, _) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Number as `u64`, parsed from the raw literal so values above 2^53
+    /// stay exact.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(_, raw) => raw.parse::<u64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// Object members.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Array elements.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document. Trailing non-whitespace is an error —
+/// a torn JSONL line must not silently parse as its untorn prefix.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let raw = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    let v: f64 = raw
+        .parse()
+        .map_err(|_| format!("invalid number {raw:?} at byte {start}"))?;
+    Ok(JsonValue::Num(v, raw.to_string()))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        if *pos + 4 >= b.len() {
+                            return Err("truncated \\u escape".into());
+                        }
+                        let hex = std::str::from_utf8(&b[*pos + 1..*pos + 5])
+                            .map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        // Surrogates are not emitted by our writer; map them
+                        // to the replacement character rather than erroring.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err("bad escape".into()),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance one whole UTF-8 scalar.
+                let s = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = s.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    debug_assert_eq!(b[*pos], b'{');
+    *pos += 1;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    debug_assert_eq!(b[*pos], b'[');
+    *pos += 1;
+    let mut out = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(out));
+    }
+    loop {
+        out.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(out));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(parse("\"hi\"").unwrap().as_str(), Some("hi"));
+        assert_eq!(parse("3.5").unwrap().as_f64(), Some(3.5));
+        assert_eq!(parse("-2").unwrap().as_f64(), Some(-2.0));
+    }
+
+    #[test]
+    fn u64_survives_above_f64_precision() {
+        let v = parse("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a":[1,2,{"b":"x"}],"c":{"d":null}}"#).unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].get("b").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("c").unwrap().get("d"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut emitted = String::new();
+        crate::export::push_json_string(&mut emitted, "a\"b\\c\nd\te\u{1}");
+        let v = parse(&emitted).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\nd\te\u{1}"));
+    }
+
+    #[test]
+    fn torn_input_is_an_error() {
+        for torn in [
+            "{\"a\":1",
+            "{\"a\":1}x",
+            "[1,2",
+            "\"unterminated",
+            "{\"a\"}",
+            "",
+        ] {
+            assert!(parse(torn).is_err(), "input {torn:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let v = parse(" { \"k\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.get("k").unwrap().as_arr().unwrap().len(), 2);
+    }
+}

@@ -25,17 +25,25 @@
 mod export;
 mod flame;
 mod hist;
+mod journal;
+pub mod json;
 mod metrics;
 mod perfetto;
 mod span;
+mod timeline;
 pub mod tree;
 
-pub use export::Snapshot;
+pub use export::{validate_prometheus, Snapshot};
 pub use flame::folded_stacks;
-pub use hist::{HistSummary, Histogram};
+pub use hist::{HistBucket, HistSummary, Histogram};
+pub use journal::EngineEvent;
 pub use metrics::{Counter, Gauge};
-pub use perfetto::chrome_trace_json;
+pub use perfetto::{chrome_trace_json, counter_trace_json};
 pub use span::{Span, SpanContext, SpanRecord, SpanSummary, DEFAULT_RING_CAPACITY};
+pub use timeline::{
+    FlightRecorder, HistPoint, MemSegmentIo, RecorderStats, SegmentIo, Timeline, TimelinePoint,
+    DEFAULT_SEGMENT_TARGET,
+};
 pub use tree::{build_trees, render_trees, SpanNode};
 
 use std::collections::HashMap;

@@ -10,6 +10,7 @@ use std::fmt::Write as _;
 
 use crate::export::push_json_string;
 use crate::span::SpanRecord;
+use crate::timeline::Timeline;
 
 /// Serialize spans as a Chrome-trace JSON document (object form, with a
 /// `traceEvents` array holding one `"ph":"X"` event per span).
@@ -53,9 +54,53 @@ pub fn chrome_trace_json(records: &[SpanRecord]) -> String {
     out
 }
 
+/// Serialize a [`Timeline`] as Chrome-trace counter tracks: one `"ph":"C"`
+/// event per changed metric per point, on pid 2 so the tracks sit apart
+/// from span tracks. Histograms contribute their count and p99. Timestamps
+/// are the points' wall-clock milliseconds rebased to the first point (the
+/// trace format counts in microseconds).
+pub fn counter_trace_json(tl: &Timeline) -> String {
+    let mut out = String::with_capacity(64 + tl.points.len() * 120);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let t0 = tl.points.first().map(|p| p.t_ms).unwrap_or(0);
+    let mut first = true;
+    let mut push = |out: &mut String, name: &str, t_ms: u64, value: f64| {
+        if !value.is_finite() {
+            return; // the trace format has no NaN/Inf spelling
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":");
+        push_json_string(out, name);
+        let _ = write!(
+            out,
+            ",\"cat\":\"mistique\",\"ph\":\"C\",\"pid\":2,\"ts\":{},\"args\":{{\"value\":{}}}}}",
+            t_ms.saturating_sub(t0) * 1_000,
+            value
+        );
+    };
+    for p in &tl.points {
+        for (name, &v) in &p.counters {
+            push(&mut out, name, p.t_ms, v as f64);
+        }
+        for (name, &v) in &p.gauges {
+            push(&mut out, name, p.t_ms, v);
+        }
+        for (name, h) in &p.hists {
+            push(&mut out, &format!("{name}.count"), p.t_ms, h.count as f64);
+            push(&mut out, &format!("{name}.p99"), p.t_ms, h.p99 as f64);
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::timeline::{FlightRecorder, MemSegmentIo};
     use crate::Obs;
 
     #[test]
@@ -82,5 +127,34 @@ mod tests {
             chrome_trace_json(&[]),
             "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
         );
+        assert_eq!(
+            counter_trace_json(&Timeline::default()),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+    }
+
+    #[test]
+    fn timeline_points_become_counter_events() {
+        let obs = Obs::new();
+        let io = MemSegmentIo::new();
+        let mut rec = FlightRecorder::open(Box::new(io.clone()), 1 << 20);
+        obs.counter("store.put.count").add(3);
+        obs.gauge("adaptive.last_gamma").set(0.5);
+        obs.histogram("store.put.ns").record(100);
+        rec.capture(&obs.snapshot(), "log");
+        obs.counter("store.put.count").inc();
+        rec.capture(&obs.snapshot(), "log");
+        let tl = Timeline::load(&io).unwrap();
+        let json = counter_trace_json(&tl);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        // First point: counter + gauge + hist count/p99; second: counter only.
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 5);
+        assert_eq!(json.matches("\"name\":\"store.put.count\"").count(), 2);
+        assert!(json.contains("\"name\":\"store.put.ns.count\""));
+        assert!(json.contains("\"name\":\"store.put.ns.p99\""));
+        assert!(json.contains("\"pid\":2"));
+        // Valid JSON end to end.
+        crate::json::parse(&json).unwrap();
     }
 }

@@ -1,0 +1,1038 @@
+//! The flight recorder: a durable, bounded timeline of metric deltas and
+//! engine events.
+//!
+//! At every burst boundary (logging, reclaim passes, recovery, qcache
+//! eviction storms — plus a periodic tick) the engine calls
+//! [`FlightRecorder::capture`] with a fresh [`Snapshot`]. The recorder
+//! writes a **delta point** — the absolute values of only the metrics that
+//! changed since the previous point — as one JSONL line into the current
+//! timeline segment, and flushes any buffered [`EngineEvent`]s into the
+//! journal segment, stamped with the point's sequence number.
+//!
+//! Segments live in their own subdirectory under the store directory and
+//! are written through a tiny [`SegmentIo`] port (implemented over the
+//! store's `StorageBackend` with the same tmp+fsync+rename discipline as
+//! partitions), so a crash can orphan a `*.tmp` but never tear a segment.
+//! Retention is byte-bounded: when the segment ring outgrows its budget the
+//! oldest segments are dropped first. Telemetry I/O is **best-effort** — a
+//! failing write increments an error count and is retried at the next
+//! capture, but never fails the data path that triggered it.
+//!
+//! Counters reset when the process restarts (each `Obs` registry starts at
+//! zero, exactly like Prometheus counters after a target restart); the
+//! journal's `recovery` events mark those boundaries so consumers can
+//! detect resets.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt::Write as _;
+use std::io;
+use std::sync::{Arc, Mutex};
+use std::time::SystemTime;
+
+use crate::export::{push_json_string, Snapshot};
+use crate::journal::EngineEvent;
+use crate::json::{self, JsonValue};
+
+/// Target size of one segment before the recorder seals it and starts the
+/// next (a capture rewrites the whole current segment atomically, so this
+/// bounds per-capture write amplification).
+pub const DEFAULT_SEGMENT_TARGET: usize = 16 * 1024;
+
+/// Minimal segment storage port. The obs crate cannot depend on the store
+/// crate (the dependency points the other way), so the store implements
+/// this over its `StorageBackend` and hands the recorder a boxed instance.
+pub trait SegmentIo: Send {
+    /// Names of the existing segment files (no paths, files only).
+    fn list(&self) -> io::Result<Vec<String>>;
+    /// Read a whole segment.
+    fn read(&self, name: &str) -> io::Result<Vec<u8>>;
+    /// Atomically replace a segment (tmp + fsync + rename + dir fsync).
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()>;
+    /// Remove a segment durably.
+    fn remove(&self, name: &str) -> io::Result<()>;
+}
+
+/// In-memory [`SegmentIo`] for unit tests (clones share the same files).
+#[derive(Clone, Debug, Default)]
+pub struct MemSegmentIo {
+    files: Arc<Mutex<BTreeMap<String, Vec<u8>>>>,
+}
+
+impl MemSegmentIo {
+    /// A fresh, empty in-memory segment store.
+    pub fn new() -> MemSegmentIo {
+        MemSegmentIo::default()
+    }
+}
+
+impl SegmentIo for MemSegmentIo {
+    fn list(&self) -> io::Result<Vec<String>> {
+        Ok(self.files.lock().unwrap().keys().cloned().collect())
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.files
+            .lock()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+    }
+
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.files
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        self.files.lock().unwrap().remove(name);
+        Ok(())
+    }
+}
+
+/// Absolute histogram state carried by a delta point (recorded whenever the
+/// histogram's count moved since the previous point).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistPoint {
+    /// Total recorded values so far.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value.
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+/// One delta snapshot: the metrics that changed since the previous point,
+/// at their new absolute values.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimelinePoint {
+    /// Monotone sequence number (continues across restarts).
+    pub seq: u64,
+    /// Unix timestamp in milliseconds.
+    pub t_ms: u64,
+    /// Burst boundary that triggered the capture (`log`, `reclaim`,
+    /// `recovery`, `qcache.storm`, `interval`, …).
+    pub reason: String,
+    /// Changed counters at their new absolute values.
+    pub counters: BTreeMap<String, u64>,
+    /// Changed gauges at their new values (NaN survives as JSON null).
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms whose count moved, at their new absolute summaries.
+    pub hists: BTreeMap<String, HistPoint>,
+}
+
+impl TimelinePoint {
+    /// Serialize as one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(128);
+        let _ = write!(
+            out,
+            "{{\"k\":\"pt\",\"seq\":{},\"t_ms\":{},\"reason\":",
+            self.seq, self.t_ms
+        );
+        push_json_string(&mut out, &self.reason);
+        out.push_str(",\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, name);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, name);
+            out.push(':');
+            if v.is_finite() {
+                let _ = write!(out, "{v}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        out.push_str("},\"hists\":{");
+        for (i, (name, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, name);
+            let _ = write!(
+                out,
+                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                h.count, h.sum, h.min, h.max, h.p50, h.p95, h.p99
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parse a JSONL line previously produced by
+    /// [`TimelinePoint::to_json_line`]. Returns `None` for non-point records.
+    pub fn from_json(v: &JsonValue) -> Option<TimelinePoint> {
+        if v.get("k")?.as_str()? != "pt" {
+            return None;
+        }
+        let counters = v
+            .get("counters")?
+            .as_obj()?
+            .iter()
+            .filter_map(|(k, c)| Some((k.clone(), c.as_u64()?)))
+            .collect();
+        let gauges = v
+            .get("gauges")?
+            .as_obj()?
+            .iter()
+            .map(|(k, g)| (k.clone(), g.as_f64().unwrap_or(f64::NAN)))
+            .collect();
+        let hists = v
+            .get("hists")?
+            .as_obj()?
+            .iter()
+            .filter_map(|(k, h)| {
+                Some((
+                    k.clone(),
+                    HistPoint {
+                        count: h.get("count")?.as_u64()?,
+                        sum: h.get("sum")?.as_u64()?,
+                        min: h.get("min")?.as_u64()?,
+                        max: h.get("max")?.as_u64()?,
+                        p50: h.get("p50")?.as_u64()?,
+                        p95: h.get("p95")?.as_u64()?,
+                        p99: h.get("p99")?.as_u64()?,
+                    },
+                ))
+            })
+            .collect();
+        Some(TimelinePoint {
+            seq: v.get("seq")?.as_u64()?,
+            t_ms: v.get("t_ms")?.as_u64()?,
+            reason: v.get("reason")?.as_str()?.to_string(),
+            counters,
+            gauges,
+            hists,
+        })
+    }
+}
+
+/// Which ring a segment belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum SegKind {
+    Points,
+    Events,
+}
+
+/// Parse `tl_XXXXXXXXXXXXXXXX.jsonl` / `ev_XXXXXXXXXXXXXXXX.jsonl` names.
+fn parse_segment_name(name: &str) -> Option<(SegKind, u64)> {
+    let (kind, rest) = if let Some(r) = name.strip_prefix("tl_") {
+        (SegKind::Points, r)
+    } else if let Some(r) = name.strip_prefix("ev_") {
+        (SegKind::Events, r)
+    } else {
+        return None;
+    };
+    let hex = rest.strip_suffix(".jsonl")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok().map(|seq| (kind, seq))
+}
+
+fn segment_name(kind: SegKind, first_seq: u64) -> String {
+    match kind {
+        SegKind::Points => format!("tl_{first_seq:016x}.jsonl"),
+        SegKind::Events => format!("ev_{first_seq:016x}.jsonl"),
+    }
+}
+
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Point-in-time recorder statistics (mirrored into `telemetry.*` gauges by
+/// the engine after each capture).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecorderStats {
+    /// Points successfully written.
+    pub captures: u64,
+    /// Events recorded (buffered or flushed).
+    pub events: u64,
+    /// Best-effort writes/removals that failed.
+    pub write_errors: u64,
+    /// Segments dropped by retention.
+    pub segments_dropped: u64,
+    /// Current total bytes across all segments.
+    pub total_bytes: u64,
+    /// Current number of segments.
+    pub segments: u64,
+    /// The sequence number the next point will get.
+    pub next_seq: u64,
+}
+
+/// Last-seen metric values, for delta computation.
+#[derive(Default)]
+struct LastSeen {
+    counters: HashMap<String, u64>,
+    gauges: HashMap<String, u64>, // f64 bit patterns (NaN-stable compare)
+    hist_counts: HashMap<String, u64>,
+}
+
+/// The durable telemetry recorder. One per open engine instance; all writes
+/// are best-effort (see module docs).
+pub struct FlightRecorder {
+    io: Box<dyn SegmentIo>,
+    budget_bytes: u64,
+    segment_target: usize,
+    next_seq: u64,
+    last: LastSeen,
+    /// Buffered content + name of the currently-open segment of each ring.
+    cur: [(String, Option<String>); 2], // indexed by SegKind as usize
+    pending: Vec<EngineEvent>,
+    sizes: BTreeMap<String, u64>,
+    stats: RecorderStats,
+}
+
+impl FlightRecorder {
+    /// Open a recorder over existing segments: sequence numbering continues
+    /// after the highest sequence found on disk, and retention accounting
+    /// picks up every existing segment. Scan errors are swallowed (the
+    /// recorder starts fresh, counting a write error) — telemetry must
+    /// never fail an engine open.
+    pub fn open(io: Box<dyn SegmentIo>, budget_bytes: u64) -> FlightRecorder {
+        // A target near the budget would leave the whole ring in one
+        // segment, so retention could only drop everything at once; clamp
+        // so rotation always keeps a few sealed segments of history.
+        let target = DEFAULT_SEGMENT_TARGET.min((budget_bytes as usize / 4).max(512));
+        let mut rec = FlightRecorder {
+            io,
+            budget_bytes,
+            segment_target: target,
+            next_seq: 0,
+            last: LastSeen::default(),
+            cur: [(String::new(), None), (String::new(), None)],
+            pending: Vec::new(),
+            sizes: BTreeMap::new(),
+            stats: RecorderStats::default(),
+        };
+        match rec.io.list() {
+            Ok(names) => {
+                let mut newest: Option<(u64, String)> = None;
+                for name in names {
+                    let Some((_, first_seq)) = parse_segment_name(&name) else {
+                        // A crash mid-`write_atomic` can strand a `.tmp`
+                        // orphan; sweep it so it never accumulates against
+                        // the budget. Other foreign files are left alone.
+                        if name.ends_with(".tmp") {
+                            let _ = rec.io.remove(&name);
+                        }
+                        continue;
+                    };
+                    let len = rec.io.read(&name).map(|b| b.len() as u64).unwrap_or(0);
+                    rec.sizes.insert(name.clone(), len);
+                    if newest.as_ref().is_none_or(|(s, _)| first_seq >= *s) {
+                        newest = Some((first_seq, name));
+                    }
+                }
+                // The newest segment's last valid line carries the highest
+                // sequence number written so far.
+                rec.next_seq = rec
+                    .sizes
+                    .keys()
+                    .filter_map(|n| {
+                        let (_, first) = parse_segment_name(n)?;
+                        let bytes = rec.io.read(n).ok()?;
+                        let max_line_seq = String::from_utf8_lossy(&bytes)
+                            .lines()
+                            .filter_map(|l| json::parse(l).ok())
+                            .filter_map(|v| v.get("seq")?.as_u64())
+                            .max();
+                        Some(max_line_seq.unwrap_or(first))
+                    })
+                    .max()
+                    .map(|s| s + 1)
+                    .unwrap_or(0);
+            }
+            Err(_) => rec.stats.write_errors += 1,
+        }
+        rec.stats.segments = rec.sizes.len() as u64;
+        rec.stats.total_bytes = rec.sizes.values().sum();
+        rec.stats.next_seq = rec.next_seq;
+        rec
+    }
+
+    /// Override the segment rotation target (tests use tiny segments to
+    /// exercise retention).
+    pub fn set_segment_target(&mut self, bytes: usize) {
+        self.segment_target = bytes.max(1);
+    }
+
+    /// Current recorder statistics.
+    pub fn stats(&self) -> RecorderStats {
+        self.stats
+    }
+
+    /// The configured retention budget in bytes.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Buffer an engine event. It is flushed to the journal by the next
+    /// [`FlightRecorder::capture`], stamped with that capture's sequence.
+    pub fn record_event(
+        &mut self,
+        kind: &str,
+        intermediate: Option<&str>,
+        details: impl IntoIterator<Item = (String, String)>,
+    ) {
+        self.stats.events += 1;
+        self.pending.push(EngineEvent {
+            snap_seq: 0, // stamped at flush
+            t_ms: unix_ms(),
+            kind: kind.to_string(),
+            intermediate: intermediate.map(str::to_string),
+            details: details.into_iter().collect(),
+        });
+    }
+
+    /// Events recorded but not yet flushed to disk, stamped with the
+    /// sequence number the next capture will use.
+    pub fn pending_events(&self) -> Vec<EngineEvent> {
+        self.pending
+            .iter()
+            .cloned()
+            .map(|mut e| {
+                e.snap_seq = self.next_seq;
+                e
+            })
+            .collect()
+    }
+
+    /// Capture a delta point from `snap` (and flush buffered events). A
+    /// no-op returning `None` when nothing changed and no events are
+    /// pending; otherwise returns the point's sequence number. All I/O is
+    /// best-effort.
+    pub fn capture(&mut self, snap: &Snapshot, reason: &str) -> Option<u64> {
+        let mut point = TimelinePoint {
+            seq: 0,
+            t_ms: unix_ms(),
+            reason: reason.to_string(),
+            ..TimelinePoint::default()
+        };
+        for (name, &v) in &snap.counters {
+            // Skip still-zero counters that were never recorded (registered
+            // but untouched); record every real change.
+            let seen = self.last.counters.contains_key(name);
+            if (seen || v != 0) && self.last.counters.get(name) != Some(&v) {
+                point.counters.insert(name.clone(), v);
+            }
+        }
+        for (name, &v) in &snap.gauges {
+            let bits = v.to_bits();
+            if self.last.gauges.get(name) != Some(&bits) {
+                point.gauges.insert(name.clone(), v);
+            }
+        }
+        for (name, h) in &snap.histograms {
+            if self.last.hist_counts.get(name).copied().unwrap_or(0) != h.count && h.count > 0 {
+                point.hists.insert(
+                    name.clone(),
+                    HistPoint {
+                        count: h.count,
+                        sum: h.sum,
+                        min: h.min,
+                        max: h.max,
+                        p50: h.p50,
+                        p95: h.p95,
+                        p99: h.p99,
+                    },
+                );
+            }
+        }
+        if point.counters.is_empty()
+            && point.gauges.is_empty()
+            && point.hists.is_empty()
+            && self.pending.is_empty()
+        {
+            return None;
+        }
+
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.next_seq = self.next_seq;
+        point.seq = seq;
+
+        // Commit the delta baselines regardless of write success — a failed
+        // write loses that point, it must not double future deltas.
+        for (name, &v) in &point.counters {
+            self.last.counters.insert(name.clone(), v);
+        }
+        for (name, &v) in &point.gauges {
+            self.last.gauges.insert(name.clone(), v.to_bits());
+        }
+        for (name, h) in &point.hists {
+            self.last.hist_counts.insert(name.clone(), h.count);
+        }
+
+        self.append_line(SegKind::Points, seq, &point.to_json_line());
+        if !self.pending.is_empty() {
+            let pending = std::mem::take(&mut self.pending);
+            let mut lines = String::new();
+            for mut ev in pending {
+                ev.snap_seq = seq;
+                lines.push_str(&ev.to_json_line());
+                lines.push('\n');
+            }
+            self.append_lines(SegKind::Events, seq, &lines);
+        }
+        self.enforce_budget();
+        self.stats.captures += 1;
+        self.stats.segments = self.sizes.len() as u64;
+        self.stats.total_bytes = self.sizes.values().sum();
+        Some(seq)
+    }
+
+    fn append_line(&mut self, kind: SegKind, seq: u64, line: &str) {
+        let mut lines = String::with_capacity(line.len() + 1);
+        lines.push_str(line);
+        lines.push('\n');
+        self.append_lines(kind, seq, &lines);
+    }
+
+    /// Append pre-terminated lines to the current segment of `kind`,
+    /// rewriting it atomically; seal it once it outgrows the target.
+    fn append_lines(&mut self, kind: SegKind, seq: u64, lines: &str) {
+        let slot = &mut self.cur[kind as usize];
+        slot.0.push_str(lines);
+        let name = slot
+            .1
+            .get_or_insert_with(|| segment_name(kind, seq))
+            .clone();
+        let buf = slot.0.clone();
+        match self.io.write_atomic(&name, buf.as_bytes()) {
+            Ok(()) => {
+                self.sizes.insert(name.clone(), buf.len() as u64);
+            }
+            Err(_) => {
+                self.stats.write_errors += 1;
+                // Keep the buffer: the next capture rewrites the whole
+                // segment, so the lost lines ride along then.
+            }
+        }
+        if buf.len() >= self.segment_target {
+            let slot = &mut self.cur[kind as usize];
+            slot.0.clear();
+            slot.1 = None;
+        }
+    }
+
+    /// Drop oldest segments until the ring fits the budget. The bound is
+    /// hard: even the current segment is dropped if it alone exceeds it.
+    fn enforce_budget(&mut self) {
+        loop {
+            let total: u64 = self.sizes.values().sum();
+            if total <= self.budget_bytes {
+                break;
+            }
+            let Some(oldest) = self
+                .sizes
+                .keys()
+                .filter_map(|n| parse_segment_name(n).map(|(_, s)| (s, n.clone())))
+                .min()
+                .map(|(_, n)| n)
+            else {
+                break;
+            };
+            if self.io.remove(&oldest).is_err() {
+                self.stats.write_errors += 1;
+                break; // avoid spinning when removal keeps failing
+            }
+            self.sizes.remove(&oldest);
+            self.stats.segments_dropped += 1;
+            for slot in &mut self.cur {
+                if slot.1.as_deref() == Some(oldest.as_str()) {
+                    slot.0.clear();
+                    slot.1 = None;
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("budget_bytes", &self.budget_bytes)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// A loaded timeline: every surviving point and event, in sequence order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Timeline {
+    /// Metric delta points, in increasing sequence order.
+    pub points: Vec<TimelinePoint>,
+    /// Journal events, ordered by the snapshot sequence they landed in.
+    pub events: Vec<EngineEvent>,
+}
+
+impl Timeline {
+    /// Load every readable segment. Unknown files and `*.tmp` orphans are
+    /// skipped; within a segment, parsing stops at the first torn line
+    /// (atomic segment writes make this a belt-and-braces guard).
+    pub fn load(io: &dyn SegmentIo) -> io::Result<Timeline> {
+        let mut tl = Timeline::default();
+        let mut names: Vec<(u64, SegKind, String)> = io
+            .list()?
+            .into_iter()
+            .filter_map(|n| parse_segment_name(&n).map(|(k, s)| (s, k, n)))
+            .collect();
+        names.sort();
+        for (_, kind, name) in names {
+            let Ok(bytes) = io.read(&name) else { continue };
+            for line in String::from_utf8_lossy(&bytes).lines() {
+                let Ok(v) = json::parse(line) else { break };
+                match kind {
+                    SegKind::Points => {
+                        if let Some(p) = TimelinePoint::from_json(&v) {
+                            tl.points.push(p);
+                        }
+                    }
+                    SegKind::Events => {
+                        if let Some(e) = EngineEvent::from_json(&v) {
+                            tl.events.push(e);
+                        }
+                    }
+                }
+            }
+        }
+        tl.points.sort_by_key(|p| p.seq);
+        tl.events
+            .sort_by(|a, b| (a.snap_seq, a.t_ms, &a.kind).cmp(&(b.snap_seq, b.t_ms, &b.kind)));
+        Ok(tl)
+    }
+
+    /// The highest point sequence, if any points survive.
+    pub fn max_seq(&self) -> Option<u64> {
+        self.points.last().map(|p| p.seq)
+    }
+
+    /// Every metric name that appears in any point.
+    pub fn metric_names(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for p in &self.points {
+            out.extend(p.counters.keys().cloned());
+            out.extend(p.gauges.keys().cloned());
+            out.extend(p.hists.keys().cloned());
+        }
+        out
+    }
+
+    /// The series of a counter or gauge: `(seq, t_ms, value)` at every point
+    /// where it changed (delta points record changes only; carry the value
+    /// forward between samples to reconstruct a step function).
+    pub fn series(&self, metric: &str) -> Vec<(u64, u64, f64)> {
+        let mut out = Vec::new();
+        for p in &self.points {
+            if let Some(&v) = p.counters.get(metric) {
+                out.push((p.seq, p.t_ms, v as f64));
+            } else if let Some(&v) = p.gauges.get(metric) {
+                out.push((p.seq, p.t_ms, v));
+            }
+        }
+        out
+    }
+
+    /// The series of a histogram: `(seq, t_ms, state)` at every point where
+    /// its count moved.
+    pub fn hist_series(&self, metric: &str) -> Vec<(u64, u64, HistPoint)> {
+        self.points
+            .iter()
+            .filter_map(|p| p.hists.get(metric).map(|h| (p.seq, p.t_ms, *h)))
+            .collect()
+    }
+
+    /// Events of one kind, in order.
+    pub fn events_by_kind(&self, kind: &str) -> Vec<&EngineEvent> {
+        self.events.iter().filter(|e| e.kind == kind).collect()
+    }
+
+    /// Events concerning one intermediate, in order.
+    pub fn events_for(&self, intermediate: &str) -> Vec<&EngineEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.intermediate.as_deref() == Some(intermediate))
+            .collect()
+    }
+
+    /// Restrict to points/events with `from_seq <= seq <= to_seq`.
+    pub fn window(&self, from_seq: u64, to_seq: u64) -> Timeline {
+        Timeline {
+            points: self
+                .points
+                .iter()
+                .filter(|p| (from_seq..=to_seq).contains(&p.seq))
+                .cloned()
+                .collect(),
+            events: self
+                .events
+                .iter()
+                .filter(|e| (from_seq..=to_seq).contains(&e.snap_seq))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Serialize the whole timeline as one JSON document.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"points\":[");
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&p.to_json_line());
+        }
+        out.push_str("],\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&e.to_json_line());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Render a compact table: one row per point (with the number of
+    /// changed metrics), events interleaved under the point they landed in.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if self.points.is_empty() && self.events.is_empty() {
+            out.push_str("(empty timeline)\n");
+            return out;
+        }
+        let t0 = self.points.first().map(|p| p.t_ms).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "{:>6}  {:>9}  {:<12}  changed",
+            "seq", "t+ms", "reason"
+        );
+        let mut ei = 0;
+        for p in &self.points {
+            // Events stamped with earlier sequences than any surviving
+            // point (retention dropped their point) print first.
+            while ei < self.events.len() && self.events[ei].snap_seq < p.seq {
+                Self::render_event(&mut out, &self.events[ei]);
+                ei += 1;
+            }
+            let _ = writeln!(
+                out,
+                "{:>6}  {:>9}  {:<12}  {}c {}g {}h",
+                p.seq,
+                p.t_ms.saturating_sub(t0),
+                p.reason,
+                p.counters.len(),
+                p.gauges.len(),
+                p.hists.len()
+            );
+            while ei < self.events.len() && self.events[ei].snap_seq == p.seq {
+                Self::render_event(&mut out, &self.events[ei]);
+                ei += 1;
+            }
+        }
+        while ei < self.events.len() {
+            Self::render_event(&mut out, &self.events[ei]);
+            ei += 1;
+        }
+        out
+    }
+
+    fn render_event(out: &mut String, e: &EngineEvent) {
+        let _ = write!(out, "{:>6}  └ {}", e.snap_seq, e.kind);
+        if let Some(i) = &e.intermediate {
+            let _ = write!(out, " {i}");
+        }
+        for (k, v) in &e.details {
+            let _ = write!(out, " {k}={v}");
+        }
+        out.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    fn recorder(io: MemSegmentIo, budget: u64) -> FlightRecorder {
+        FlightRecorder::open(Box::new(io), budget)
+    }
+
+    #[test]
+    fn point_round_trips_through_json() {
+        let mut p = TimelinePoint {
+            seq: 42,
+            t_ms: 1_700_000_000_000,
+            reason: "log".into(),
+            ..TimelinePoint::default()
+        };
+        p.counters.insert("store.put.count".into(), 7);
+        p.gauges.insert("adaptive.last_gamma".into(), 0.125);
+        p.hists.insert(
+            "store.put.ns".into(),
+            HistPoint {
+                count: 3,
+                sum: 99,
+                min: 10,
+                max: 60,
+                p50: 29,
+                p95: 60,
+                p99: 60,
+            },
+        );
+        let line = p.to_json_line();
+        let parsed = TimelinePoint::from_json(&json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn capture_records_only_deltas() {
+        let obs = Obs::new();
+        let io = MemSegmentIo::new();
+        let mut rec = recorder(io.clone(), 1 << 20);
+
+        obs.counter("a").add(2);
+        obs.gauge("g").set(1.5);
+        assert_eq!(rec.capture(&obs.snapshot(), "log"), Some(0));
+        // Nothing changed: no point.
+        assert_eq!(rec.capture(&obs.snapshot(), "log"), None);
+        obs.counter("a").inc();
+        obs.counter("b").inc();
+        assert_eq!(rec.capture(&obs.snapshot(), "reclaim"), Some(1));
+
+        let tl = Timeline::load(&io).unwrap();
+        assert_eq!(tl.points.len(), 2);
+        assert_eq!(tl.points[0].counters["a"], 2);
+        assert_eq!(tl.points[0].gauges["g"], 1.5);
+        assert_eq!(tl.points[1].counters["a"], 3);
+        assert_eq!(tl.points[1].counters["b"], 1);
+        assert!(
+            !tl.points[1].gauges.contains_key("g"),
+            "unchanged gauge elided"
+        );
+        assert_eq!(
+            tl.series("a"),
+            vec![(0, tl.points[0].t_ms, 2.0), (1, tl.points[1].t_ms, 3.0),]
+        );
+    }
+
+    #[test]
+    fn zero_valued_new_counters_are_elided() {
+        let obs = Obs::new();
+        let io = MemSegmentIo::new();
+        let mut rec = recorder(io.clone(), 1 << 20);
+        obs.counter("never_hit"); // registered, still zero
+        obs.counter("hit").inc();
+        rec.capture(&obs.snapshot(), "log").unwrap();
+        let tl = Timeline::load(&io).unwrap();
+        assert!(!tl.points[0].counters.contains_key("never_hit"));
+        assert!(tl.points[0].counters.contains_key("hit"));
+    }
+
+    #[test]
+    fn events_are_stamped_with_the_flushing_sequence() {
+        let obs = Obs::new();
+        let io = MemSegmentIo::new();
+        let mut rec = recorder(io.clone(), 1 << 20);
+        obs.counter("c").inc();
+        rec.capture(&obs.snapshot(), "log");
+        rec.record_event(
+            "reclaim.demote",
+            Some("m1.s3"),
+            [("from".to_string(), "FULL".to_string())],
+        );
+        assert_eq!(rec.pending_events().len(), 1);
+        assert_eq!(rec.pending_events()[0].snap_seq, 1);
+        obs.counter("c").inc();
+        let seq = rec.capture(&obs.snapshot(), "reclaim").unwrap();
+        assert_eq!(seq, 1);
+        let tl = Timeline::load(&io).unwrap();
+        assert_eq!(tl.events.len(), 1);
+        assert_eq!(tl.events[0].snap_seq, seq);
+        assert_eq!(tl.events_by_kind("reclaim.demote").len(), 1);
+        assert_eq!(tl.events_for("m1.s3").len(), 1);
+        assert!(rec.pending_events().is_empty());
+    }
+
+    #[test]
+    fn pending_events_alone_force_a_point() {
+        let obs = Obs::new();
+        let io = MemSegmentIo::new();
+        let mut rec = recorder(io.clone(), 1 << 20);
+        rec.record_event("recovery", None, []);
+        let seq = rec.capture(&obs.snapshot(), "recovery");
+        assert_eq!(seq, Some(0));
+        let tl = Timeline::load(&io).unwrap();
+        assert_eq!(
+            tl.points.len(),
+            1,
+            "event flush still writes its anchor point"
+        );
+        assert_eq!(tl.events.len(), 1);
+    }
+
+    #[test]
+    fn sequence_numbering_continues_across_reopen() {
+        let obs = Obs::new();
+        let io = MemSegmentIo::new();
+        {
+            let mut rec = recorder(io.clone(), 1 << 20);
+            obs.counter("c").inc();
+            rec.capture(&obs.snapshot(), "log");
+            obs.counter("c").inc();
+            rec.capture(&obs.snapshot(), "log");
+        }
+        // "New process": fresh recorder and registry over the same segments.
+        let obs2 = Obs::new();
+        let mut rec = recorder(io.clone(), 1 << 20);
+        assert_eq!(rec.stats().next_seq, 2);
+        obs2.counter("c").inc();
+        assert_eq!(rec.capture(&obs2.snapshot(), "log"), Some(2));
+        let tl = Timeline::load(&io).unwrap();
+        let seqs: Vec<u64> = tl.points.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        // Counter reset across restart is visible, like Prometheus.
+        assert_eq!(tl.series("c").last().unwrap().2, 1.0);
+    }
+
+    #[test]
+    fn retention_never_exceeds_the_budget() {
+        let obs = Obs::new();
+        let io = MemSegmentIo::new();
+        let mut rec = recorder(io.clone(), 2048);
+        rec.set_segment_target(256);
+        let c = obs.counter("churn");
+        for i in 0..200 {
+            c.inc();
+            obs.gauge("padding.to.make.lines.longer").set(i as f64);
+            rec.capture(&obs.snapshot(), "log");
+            let total: u64 = io
+                .list()
+                .unwrap()
+                .iter()
+                .map(|n| io.read(n).unwrap().len() as u64)
+                .sum();
+            assert!(
+                total <= 2048,
+                "telemetry bytes {total} exceed budget after capture {i}"
+            );
+        }
+        assert!(
+            rec.stats().segments_dropped > 0,
+            "retention must have kicked in"
+        );
+        // The survivors are the newest points.
+        let tl = Timeline::load(&io).unwrap();
+        assert!(!tl.points.is_empty());
+        assert_eq!(tl.max_seq(), Some(199));
+        for w in tl.points.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1, "surviving points are contiguous");
+        }
+    }
+
+    #[test]
+    fn torn_trailing_line_is_ignored_on_load() {
+        let obs = Obs::new();
+        let io = MemSegmentIo::new();
+        let mut rec = recorder(io.clone(), 1 << 20);
+        obs.counter("c").inc();
+        rec.capture(&obs.snapshot(), "log");
+        obs.counter("c").inc();
+        rec.capture(&obs.snapshot(), "log");
+        // Tear the segment's second line in half, behind the recorder's back.
+        let name = io.list().unwrap()[0].clone();
+        let bytes = io.read(&name).unwrap();
+        let cut = bytes.len() - 20;
+        io.write_atomic(&name, &bytes[..cut]).unwrap();
+        let tl = Timeline::load(&io).unwrap();
+        assert_eq!(tl.points.len(), 1, "torn tail dropped, valid prefix kept");
+        assert_eq!(tl.points[0].seq, 0);
+    }
+
+    #[test]
+    fn garbage_segments_do_not_poison_the_load() {
+        let io = MemSegmentIo::new();
+        io.write_atomic("tl_0000000000000000.jsonl", b"not json at all\n")
+            .unwrap();
+        io.write_atomic("ev_0000000000000000.jsonl", b"\x00\xff\x80 binary")
+            .unwrap();
+        io.write_atomic("tl_0000000000000005.jsonl.tmp", b"orphan")
+            .unwrap();
+        io.write_atomic("unrelated.txt", b"ignored").unwrap();
+        let tl = Timeline::load(&io).unwrap();
+        assert!(tl.points.is_empty());
+        assert!(tl.events.is_empty());
+    }
+
+    #[test]
+    fn window_filters_points_and_events() {
+        let obs = Obs::new();
+        let io = MemSegmentIo::new();
+        let mut rec = recorder(io.clone(), 1 << 20);
+        for _ in 0..5 {
+            obs.counter("c").inc();
+            rec.record_event("tick", None, []);
+            rec.capture(&obs.snapshot(), "log");
+        }
+        let tl = Timeline::load(&io).unwrap();
+        let w = tl.window(1, 3);
+        assert_eq!(
+            w.points.iter().map(|p| p.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(w.events.len(), 3);
+    }
+
+    #[test]
+    fn timeline_json_and_table_render() {
+        let obs = Obs::new();
+        let io = MemSegmentIo::new();
+        let mut rec = recorder(io.clone(), 1 << 20);
+        obs.counter("c").inc();
+        obs.histogram("h").record(5);
+        rec.record_event(
+            "compaction",
+            None,
+            [("removed".to_string(), "2".to_string())],
+        );
+        rec.capture(&obs.snapshot(), "reclaim");
+        let tl = Timeline::load(&io).unwrap();
+        let json_doc = tl.to_json_string();
+        let parsed = json::parse(&json_doc).unwrap();
+        assert_eq!(parsed.get("points").unwrap().as_arr().unwrap().len(), 1);
+        assert_eq!(parsed.get("events").unwrap().as_arr().unwrap().len(), 1);
+        let table = tl.render_table();
+        assert!(table.contains("reclaim"));
+        assert!(table.contains("compaction"));
+        assert!(table.contains("removed=2"));
+        assert_eq!(tl.hist_series("h").len(), 1);
+        assert_eq!(tl.hist_series("h")[0].2.count, 1);
+        assert!(tl.metric_names().contains("h"));
+    }
+}

@@ -23,6 +23,7 @@ pub mod disk;
 pub mod lru;
 pub mod mem;
 pub mod partition;
+pub mod telemetry_io;
 
 pub use backend::{FaultyFs, RealFs, StorageBackend, TornWrite};
 pub use datastore::{
@@ -33,6 +34,7 @@ pub use disk::DiskStore;
 pub use lru::{LruCache, LruList};
 pub use mem::InMemoryStore;
 pub use partition::{Partition, PartitionId};
+pub use telemetry_io::{TelemetryDir, TELEMETRY_SUBDIR};
 
 /// Errors surfaced by store operations.
 #[derive(Debug)]

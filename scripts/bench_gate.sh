@@ -12,8 +12,10 @@ BUDGET=0.8 # new throughput must be >= BUDGET * baseline throughput
 
 # Pull one numeric gauge out of a bench snapshot without a JSON tool: split
 # on commas/braces, find the quoted key, strip everything up to the colon.
+# Missing keys print nothing (the `|| true` keeps grep's miss from tripping
+# `set -o pipefail` — callers probe optional keys like the host fingerprint).
 val() { # file key
-  tr ',{' '\n\n' <"$1" | grep -F "\"$2\":" | head -1 | sed 's/.*://; s/[}"]//g'
+  tr ',{' '\n\n' <"$1" | grep -F "\"$2\":" | head -1 | sed 's/.*://; s/[}"]//g' || true
 }
 
 # Reclaim-throughput smoke: always runs (no baseline needed). The bin
@@ -39,6 +41,23 @@ base_rows=$(val "$BASELINE" bench.read_parallel.rows)
 base_ms=$(val "$BASELINE" bench.read_parallel.serial_ms)
 if [[ -z "$base_rows" || -z "$base_ms" ]]; then
   echo "malformed $BASELINE (missing rows/serial_ms gauges) — skipping perf gate"
+  exit 0
+fi
+
+# Host fingerprint: a baseline captured on a machine with a different core
+# count is not comparable (cold-read wall clock tracks the memory subsystem
+# and CPU generation, which core count proxies). Skip rather than flag a
+# phantom regression. Older baselines carried the count only under the
+# bench-specific gauge, so try both names.
+host_cpus=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo "")
+base_cpus=$(val "$BASELINE" host.cpus)
+[[ -z "$base_cpus" ]] && base_cpus=$(val "$BASELINE" bench.read_parallel.host_cpus)
+if [[ -z "$base_cpus" ]]; then
+  echo "baseline carries no host.cpus fingerprint — skipping perf gate"
+  exit 0
+fi
+if [[ -z "$host_cpus" || "$base_cpus" != "$host_cpus" ]]; then
+  echo "host fingerprint mismatch (baseline: ${base_cpus} cpus, here: ${host_cpus:-unknown}) — skipping perf gate"
   exit 0
 fi
 

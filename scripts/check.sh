@@ -26,6 +26,10 @@ cargo test -q -p mistique-core --test proptest_system
 cargo test -q -p mistique-core --test observability
 cargo test -q -p mistique-core --test explain
 cargo test -q -p mistique-core --test reclaim
+cargo test -q -p mistique-core --test timeline
+cargo test -q -p mistique-core --test telemetry_crash
+cargo test -q -p mistique-core --test obs_coverage
+cargo test -q -p mistique-obs
 cargo test -q -p mistique-store --test lru_model
 cargo test -q -p mistique-store --test compaction
 cargo test -q -p mistique-compress --test truncation_fuzz

@@ -1,0 +1,226 @@
+//! End-to-end acceptance of the flight recorder: a log → query → reclaim →
+//! persist → reopen lifecycle leaves a durable timeline under
+//! `<dir>/telemetry/` that replays the session — metric series with
+//! positive deltas, journal events correlated to capture sequences, and
+//! sequence numbers that continue across the restart. Plus: the retention
+//! budget is a hard bound on the directory, disabling telemetry writes
+//! nothing, and the live Prometheus exposition passes its own validator.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use mistique_core::{FetchStrategy, Mistique, MistiqueConfig, StorageStrategy};
+use mistique_pipeline::templates::zillow_pipelines;
+use mistique_pipeline::ZillowData;
+
+fn telemetry_dir_bytes(dir: &Path) -> u64 {
+    let tdir = dir.join("telemetry");
+    let Ok(entries) = std::fs::read_dir(&tdir) else {
+        return 0;
+    };
+    entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.metadata().ok())
+        .filter(|m| m.is_file())
+        .map(|m| m.len())
+        .sum()
+}
+
+/// Log two pipelines, query them, and starve the storage budget so the
+/// reclaim ladder runs.
+fn run_session(sys: &mut Mistique, data: &Arc<ZillowData>) -> Vec<String> {
+    let pipes = zillow_pipelines();
+    let mut ids = Vec::new();
+    for p in pipes.into_iter().take(2) {
+        let id = sys.register_trad(p, Arc::clone(data)).unwrap();
+        sys.log_intermediates(&id).unwrap();
+        ids.push(id);
+    }
+    for interm in sys.intermediates_of(&ids[0]) {
+        sys.fetch_with_strategy(&interm, None, Some(30), FetchStrategy::Read)
+            .unwrap();
+    }
+    sys.reclaim_to(512).unwrap();
+    ids
+}
+
+#[test]
+fn lifecycle_replays_series_with_correlated_events() {
+    let dir = tempfile::tempdir().unwrap();
+    let data = Arc::new(ZillowData::generate(120, 3));
+    let mut sys = Mistique::open(dir.path(), MistiqueConfig::default()).unwrap();
+    run_session(&mut sys, &data);
+
+    // Live view before the restart.
+    let tl = sys.timeline().unwrap();
+    assert!(!tl.points.is_empty(), "bursts must capture points");
+    let seqs: Vec<u64> = tl.points.iter().map(|p| p.seq).collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "seqs must increase");
+
+    // The logging burst leaves a counter series with positive deltas.
+    let put_series = tl.series("store.put.count");
+    assert!(!put_series.is_empty(), "store.put.count must have a series");
+    assert!(put_series.iter().any(|(_, _, v)| *v > 0.0));
+    // Reasons cover the boundaries this session crossed.
+    let reasons: Vec<&str> = tl.points.iter().map(|p| p.reason.as_str()).collect();
+    assert!(reasons.contains(&"log"));
+    assert!(reasons.contains(&"reclaim"));
+
+    // The starved reclaim journaled its ladder; every flushed event is
+    // stamped with the sequence of the capture that carried it.
+    assert!(tl.events.iter().any(|e| e.kind == "reclaim.demote"));
+    assert!(tl.events.iter().any(|e| e.kind == "reclaim.purge"));
+    let point_seqs: std::collections::BTreeSet<u64> = seqs.iter().copied().collect();
+    for e in &tl.events {
+        assert!(
+            point_seqs.contains(&e.snap_seq),
+            "event {} (seq {}) has no matching capture point",
+            e.kind,
+            e.snap_seq
+        );
+    }
+    // Demotion events name their intermediate, so per-intermediate replay
+    // works.
+    let demoted = tl
+        .events
+        .iter()
+        .find(|e| e.kind == "reclaim.demote")
+        .unwrap()
+        .intermediate
+        .clone()
+        .expect("demotion events carry an intermediate");
+    assert!(!tl.events_for(&demoted).is_empty());
+
+    let pre_restart_max = *seqs.last().unwrap();
+    match sys.persist() {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("note: skipping restart leg: {e}");
+            return;
+        }
+    }
+    drop(sys);
+
+    // `load_timeline` needs no manifest and sees the same durable state.
+    let tl = Mistique::load_timeline(dir.path()).unwrap();
+    assert_eq!(tl.points.iter().map(|p| p.seq).max(), Some(pre_restart_max));
+
+    // Reopen: recovery is journaled, and sequences continue — no reuse.
+    let sys = Mistique::reopen(dir.path(), MistiqueConfig::default()).unwrap();
+    let tl = sys.timeline().unwrap();
+    let rec = tl
+        .events
+        .iter()
+        .filter(|e| e.kind == "recovery")
+        .max_by_key(|e| e.snap_seq)
+        .expect("reopen must journal recovery");
+    assert!(
+        rec.snap_seq > pre_restart_max,
+        "recovery (seq {}) must be stamped past the previous run (max {})",
+        rec.snap_seq,
+        pre_restart_max
+    );
+    assert!(rec.details.contains_key("quarantined"));
+    // The recovery capture is a counter-reset boundary: the new run's
+    // points exist alongside the old ones in one replayable stream.
+    assert!(tl.points.iter().any(|p| p.seq > pre_restart_max));
+    assert!(tl.points.iter().any(|p| p.seq <= pre_restart_max));
+
+    // Windowing isolates the restarted run.
+    let recent = tl.window(pre_restart_max + 1, u64::MAX);
+    assert!(recent.points.iter().all(|p| p.seq > pre_restart_max));
+    assert!(recent.events.iter().any(|e| e.kind == "recovery"));
+}
+
+#[test]
+fn retention_budget_is_a_hard_bound_on_the_directory() {
+    let dir = tempfile::tempdir().unwrap();
+    let budget = 8192u64;
+    let data = Arc::new(ZillowData::generate(120, 3));
+    let mut sys = Mistique::open(
+        dir.path(),
+        MistiqueConfig {
+            telemetry_budget_bytes: budget,
+            ..MistiqueConfig::default()
+        },
+    )
+    .unwrap();
+    let pipes = zillow_pipelines();
+    let id = sys
+        .register_trad(pipes[0].clone(), Arc::clone(&data))
+        .unwrap();
+    // Every iteration is several captures; the ring must rotate many times
+    // over without the directory ever exceeding the budget.
+    for _ in 0..20 {
+        sys.log_intermediates(&id).unwrap();
+        sys.reclaim_to(u64::MAX).unwrap();
+        let used = telemetry_dir_bytes(dir.path());
+        assert!(
+            used <= budget,
+            "telemetry dir holds {used} bytes, budget is {budget}"
+        );
+    }
+    let stats = sys.telemetry_stats().expect("telemetry is enabled");
+    assert!(
+        stats.segments_dropped > 0,
+        "an 8 KiB budget must rotate the ring ({} captures, {} bytes)",
+        stats.captures,
+        stats.total_bytes
+    );
+    assert!(stats.total_bytes <= budget);
+    // Oldest-first eviction: the survivors are the newest captures.
+    let tl = sys.timeline().unwrap();
+    assert!(!tl.points.is_empty(), "rotation must never empty the ring");
+    assert_eq!(
+        tl.points.iter().map(|p| p.seq).max(),
+        Some(stats.next_seq - 1),
+        "the newest capture always survives rotation"
+    );
+}
+
+#[test]
+fn zero_budget_disables_telemetry_entirely() {
+    let dir = tempfile::tempdir().unwrap();
+    let data = Arc::new(ZillowData::generate(60, 3));
+    let mut sys = Mistique::open(
+        dir.path(),
+        MistiqueConfig {
+            telemetry_budget_bytes: 0,
+            ..MistiqueConfig::default()
+        },
+    )
+    .unwrap();
+    let id = sys
+        .register_trad(zillow_pipelines().remove(0), Arc::clone(&data))
+        .unwrap();
+    sys.log_intermediates(&id).unwrap();
+    assert!(sys.telemetry_stats().is_none());
+    assert!(!dir.path().join("telemetry").exists());
+    let tl = sys.timeline().unwrap();
+    assert!(tl.points.is_empty() && tl.events.is_empty());
+}
+
+#[test]
+fn live_prometheus_exposition_passes_the_validator() {
+    let dir = tempfile::tempdir().unwrap();
+    let data = Arc::new(ZillowData::generate(120, 3));
+    let mut sys = Mistique::open(
+        dir.path(),
+        MistiqueConfig {
+            storage: StorageStrategy::Dedup,
+            query_cache_bytes: 1 << 20,
+            ..MistiqueConfig::default()
+        },
+    )
+    .unwrap();
+    run_session(&mut sys, &data);
+
+    let exposition = sys.render_prometheus();
+    mistique_core::validate_prometheus(&exposition)
+        .unwrap_or_else(|e| panic!("exposition failed validation: {e}\n{exposition}"));
+    // Histograms render the full Prometheus shape.
+    assert!(exposition.contains("# TYPE"));
+    assert!(exposition.contains("_bucket{le=\"+Inf\"}"));
+    assert!(exposition.contains("_sum"));
+    assert!(exposition.contains("_count"));
+}
