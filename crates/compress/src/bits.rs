@@ -31,8 +31,20 @@ impl BitWriter {
     #[inline]
     pub fn write_bits(&mut self, value: u64, n: u32) {
         assert!(n <= 64);
-        for i in (0..n).rev() {
-            self.write_bit((value >> i) & 1 == 1);
+        // Fill the partial final byte, then whole bytes — at most 8 bits per
+        // pass instead of one.
+        let mut n = n;
+        while n > 0 {
+            if self.used == 0 {
+                self.bytes.push(0);
+            }
+            let room = 8 - self.used;
+            let take = room.min(n);
+            let chunk = ((value >> (n - take)) & ((1u64 << take) - 1)) as u8;
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= chunk << (room - take);
+            self.used = (self.used + take) % 8;
+            n -= take;
         }
     }
 
@@ -53,35 +65,78 @@ impl BitWriter {
 }
 
 /// Sequential bit reader matching [`BitWriter`]'s layout.
+///
+/// Buffers up to 64 bits in a register (MSB-aligned) so `read_bits` is a
+/// shift-and-mask instead of a per-bit loop — the XOR float decoder reads
+/// 2–34 bits per value through this.
 pub struct BitReader<'a> {
     bytes: &'a [u8],
-    pos: usize,
+    byte_pos: usize,
+    /// Unconsumed bits, left-aligned (bit 63 is the next bit to read).
+    buf: u64,
+    buf_bits: u32,
 }
 
 impl<'a> BitReader<'a> {
     /// Read from packed bytes.
     pub fn new(bytes: &'a [u8]) -> BitReader<'a> {
-        BitReader { bytes, pos: 0 }
+        BitReader {
+            bytes,
+            byte_pos: 0,
+            buf: 0,
+            buf_bits: 0,
+        }
+    }
+
+    /// Top up the bit buffer from the byte stream (to ≥ 57 bits or EOF).
+    #[inline]
+    fn refill(&mut self) {
+        while self.buf_bits <= 56 {
+            match self.bytes.get(self.byte_pos) {
+                Some(&b) => {
+                    self.buf |= (b as u64) << (56 - self.buf_bits);
+                    self.byte_pos += 1;
+                    self.buf_bits += 8;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Read up to 32 bits from the buffer.
+    #[inline]
+    fn read_bits_small(&mut self, n: u32) -> Option<u64> {
+        if self.buf_bits < n {
+            self.refill();
+            if self.buf_bits < n {
+                return None;
+            }
+        }
+        let v = self.buf >> (64 - n);
+        self.buf <<= n;
+        self.buf_bits -= n;
+        Some(v)
     }
 
     /// Read one bit; `None` at end of input.
     #[inline]
     pub fn read_bit(&mut self) -> Option<bool> {
-        let byte = *self.bytes.get(self.pos / 8)?;
-        let bit = (byte >> (7 - (self.pos % 8) as u32)) & 1 == 1;
-        self.pos += 1;
-        Some(bit)
+        self.read_bits_small(1).map(|b| b == 1)
     }
 
     /// Read `n` bits as the low bits of a u64, most significant first.
     #[inline]
     pub fn read_bits(&mut self, n: u32) -> Option<u64> {
         assert!(n <= 64);
-        let mut v = 0u64;
-        for _ in 0..n {
-            v = (v << 1) | self.read_bit()? as u64;
+        if n == 0 {
+            return Some(0);
         }
-        Some(v)
+        if n > 32 {
+            let hi = self.read_bits_small(32)?;
+            let lo = self.read_bits_small(n - 32)?;
+            return Some((hi << (n - 32)) | lo);
+        }
+        self.read_bits_small(n)
     }
 }
 

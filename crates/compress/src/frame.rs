@@ -156,7 +156,9 @@ pub fn decompress(frame: &[u8]) -> Result<Vec<u8>, CodecError> {
         // The header's raw length caps RLE expansion: a torn or corrupt
         // stream is rejected before it can zero-fill past the declared size.
         Scheme::Rle => rle::decompress_with_limit(payload, raw_len).ok_or(CodecError::Corrupt)?,
-        Scheme::Lzss => lzss::decompress(payload).ok_or(CodecError::Corrupt)?,
+        // The header's raw length doubles as an exact pre-allocation hint,
+        // eliminating grow-and-copy churn on the decode hot path.
+        Scheme::Lzss => lzss::decompress_with_hint(payload, raw_len).ok_or(CodecError::Corrupt)?,
         Scheme::Delta4 => delta::decompress(payload, 4).ok_or(CodecError::Corrupt)?,
         Scheme::Delta1 => delta::decompress(payload, 1).ok_or(CodecError::Corrupt)?,
         Scheme::Delta8 => delta::decompress(payload, 8).ok_or(CodecError::Corrupt)?,

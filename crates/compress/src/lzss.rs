@@ -26,6 +26,27 @@ fn hash4(data: &[u8], i: usize) -> usize {
     (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
 }
 
+/// Length of the common prefix of `input[a..]` and `input[b..]`, capped at
+/// `limit` — compared 8 bytes at a time, with the mismatch located by the
+/// trailing zeros of the XOR (little-endian byte order).
+#[inline]
+fn match_len(input: &[u8], a: usize, b: usize, limit: usize) -> usize {
+    let mut l = 0;
+    while l + 8 <= limit {
+        let x = u64::from_le_bytes(input[a + l..a + l + 8].try_into().unwrap());
+        let y = u64::from_le_bytes(input[b + l..b + l + 8].try_into().unwrap());
+        let xor = x ^ y;
+        if xor != 0 {
+            return l + (xor.trailing_zeros() / 8) as usize;
+        }
+        l += 8;
+    }
+    while l < limit && input[a + l] == input[b + l] {
+        l += 1;
+    }
+    l
+}
+
 /// Compress `input` with LZSS.
 pub fn compress(input: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(input.len() / 2 + 16);
@@ -62,10 +83,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
                     break;
                 }
                 let limit = (input.len() - i).min(MAX_MATCH);
-                let mut l = 0;
-                while l < limit && input[c + l] == input[i + l] {
-                    l += 1;
-                }
+                let l = match_len(input, c, i, limit);
                 if l > best_len {
                     best_len = l;
                     best_dist = i - c;
@@ -73,7 +91,22 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
                         break;
                     }
                 }
-                cand = prev[c % WINDOW];
+                // Staleness guard: `prev` is indexed by `pos % WINDOW`, so
+                // once the input outgrows the window a slot can alias a
+                // position from an earlier lap of the ring. A genuine chain
+                // link always points strictly backwards; anything else is a
+                // stale alias (or a cycle) and must terminate the walk.
+                let next = prev[c % WINDOW];
+                if next != NO_POS {
+                    debug_assert!(
+                        (next as usize) < c,
+                        "hash chain must be strictly decreasing: {next} after {c}"
+                    );
+                    if next as usize >= c {
+                        break;
+                    }
+                }
+                cand = next;
                 chain += 1;
             }
         }
@@ -111,30 +144,53 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
 /// Decompress an LZSS stream produced by [`compress`].
 /// Returns `None` on malformed input.
 pub fn decompress(input: &[u8]) -> Option<Vec<u8>> {
-    let mut out = Vec::with_capacity(input.len() * 2);
+    decompress_with_hint(input, input.len().saturating_mul(2))
+}
+
+/// [`decompress`] with a capacity hint for the output buffer. Frame decoders
+/// know the exact raw length from the header; passing it avoids every
+/// reallocation on the decode hot path.
+pub fn decompress_with_hint(input: &[u8], raw_len_hint: usize) -> Option<Vec<u8>> {
+    // Cap the pre-allocation so a corrupt hint cannot reserve gigabytes.
+    let mut out = Vec::with_capacity(raw_len_hint.min(1 << 26));
+    let len_in = input.len();
     let mut pos = 0;
-    while pos < input.len() {
+    while pos < len_in {
         let flags = input[pos];
         pos += 1;
+        if flags == 0 {
+            // Literal-only group: copy up to 8 bytes in one memcpy instead
+            // of eight bounds-checked pushes (the hot path of raw/low-
+            // redundancy payloads).
+            let n = 8.min(len_in - pos);
+            out.extend_from_slice(&input[pos..pos + n]);
+            pos += n;
+            continue;
+        }
         for bit in 0..8 {
-            if pos >= input.len() {
+            if pos >= len_in {
                 break;
             }
             if flags & (1 << bit) != 0 {
-                let d0 = *input.get(pos)?;
-                let d1 = *input.get(pos + 1)?;
-                let l = *input.get(pos + 2)?;
+                if pos + 3 > len_in {
+                    return None;
+                }
+                let dist = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize + 1;
+                let len = input[pos + 2] as usize + MIN_MATCH;
                 pos += 3;
-                let dist = u16::from_le_bytes([d0, d1]) as usize + 1;
-                let len = l as usize + MIN_MATCH;
                 if dist > out.len() {
                     return None;
                 }
                 let start = out.len() - dist;
-                // Byte-by-byte copy: matches may overlap their own output.
-                for k in 0..len {
-                    let b = out[start + k];
-                    out.push(b);
+                // Chunked match copy: each pass copies the whole available
+                // run, so a self-overlapping match (dist < len) doubles the
+                // run per pass instead of copying byte by byte, and a
+                // non-overlapping match is a single memcpy.
+                let mut remaining = len;
+                while remaining > 0 {
+                    let avail = (out.len() - start).min(remaining);
+                    out.extend_from_within(start..start + avail);
+                    remaining -= avail;
                 }
             } else {
                 out.push(input[pos]);

@@ -41,10 +41,22 @@ pub fn decompress(input: &[u8]) -> Option<Vec<u8>> {
 /// expected raw size (the frame decoder does) should pass it so corruption
 /// is rejected *before* gigabytes are zero-filled, not after.
 pub fn decompress_with_limit(input: &[u8], limit: usize) -> Option<Vec<u8>> {
-    let mut out = Vec::new();
+    // Reserve up front when the caller knows the raw size (the frame decoder
+    // always does); cap the guess so an absurd limit cannot reserve memory.
+    let mut out = Vec::with_capacity(limit.min(1 << 26));
+    let len_in = input.len();
     let mut pos = 0;
-    while pos < input.len() {
-        let run = varint::read_u64(input, &mut pos)? as usize;
+    while pos < len_in {
+        // Runs shorter than 128 encode as a single varint byte — the
+        // overwhelmingly common case — so decode it without the full
+        // multi-byte loop.
+        let b0 = input[pos];
+        let run = if b0 < 0x80 {
+            pos += 1;
+            b0 as usize
+        } else {
+            varint::read_u64(input, &mut pos)? as usize
+        };
         let byte = *input.get(pos)?;
         pos += 1;
         if run == 0 || out.len().checked_add(run)? > limit {

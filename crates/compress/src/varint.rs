@@ -1,6 +1,7 @@
 //! LEB128 variable-length integer encoding, shared by the other codecs.
 
 /// Append `value` to `out` as an unsigned LEB128 varint.
+#[inline]
 pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
     loop {
         let byte = (value & 0x7f) as u8;
@@ -15,7 +16,15 @@ pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
 
 /// Read an unsigned LEB128 varint from `input` starting at `*pos`,
 /// advancing `*pos` past it. Returns `None` on truncated or oversized input.
+#[inline]
 pub fn read_u64(input: &[u8], pos: &mut usize) -> Option<u64> {
+    // One-byte fast path: values < 128 dominate delta/RLE streams.
+    if let Some(&b) = input.get(*pos) {
+        if b < 0x80 {
+            *pos += 1;
+            return Some(b as u64);
+        }
+    }
     let mut value = 0u64;
     let mut shift = 0u32;
     loop {

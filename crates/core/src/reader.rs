@@ -411,10 +411,16 @@ impl Mistique {
     /// of `blocks`).
     ///
     /// All chunk bytes are pulled through the store's batched read path, so
-    /// cold partitions come off disk concurrently; the per-column decode
-    /// (deserialize + dequantize) then fans out over the same worker budget.
-    /// Work is assigned by round-robin striding and reassembled by index, so
-    /// the output is identical at every `read_parallelism` setting.
+    /// cold partitions come off disk concurrently; decode (deserialize +
+    /// dequantize) then fans out over one work item per `(column, block)`
+    /// chunk — not per column — so the common DNN shape of one wide column
+    /// across many RowBlocks still parallelizes. The fan-out is adaptive
+    /// ([`adaptive_workers`]): clamped to the host CPUs and to the batch's
+    /// byte volume, so tiny reads run serial with zero thread overhead.
+    /// Items are assigned by round-robin striding and reassembled by index,
+    /// so the output is identical at every `read_parallelism` setting, and a
+    /// failing (or panicking) chunk surfaces as the error of the
+    /// smallest-indexed item regardless of worker schedule.
     fn read_column_blocks(
         &mut self,
         meta: &crate::metadata::IntermediateMeta,
@@ -429,67 +435,76 @@ impl Mistique {
                     .map(|&b| ChunkKey::new(meta.id.clone(), name.clone(), b as u32))
             })
             .collect();
-        let workers = self.effective_read_parallelism();
+        let workers = adaptive_workers(
+            self.effective_read_parallelism(),
+            keys.len(),
+            self.store.batch_bytes_hint(&keys),
+            self.config.min_read_bytes_per_worker,
+        );
         let raw = self.store.get_chunk_bytes_batch(&keys, workers)?;
 
         let n_cols = wanted.len();
         let per_col = blocks.len();
+        let n_items = n_cols * per_col;
         let value = meta.scheme.value;
         let quantizer = meta.quantizer.as_deref();
         // Capture the calling span before any fan-out so per-column decode
-        // spans parent identically whether decode runs serial or on workers.
+        // attribution parents identically whether decode runs serial or on
+        // workers.
         let obs = self.obs.clone();
         let ctx = obs.current_context();
-        let obs = &obs;
-        let ctx = ctx.as_ref();
-        let decode_col = |ci: usize| -> Result<Vec<Vec<f64>>, MistiqueError> {
-            let mut sp = obs.span_with_parent("fetch.decode", ctx);
-            sp.attr("col", &wanted[ci]).attr("blocks", per_col);
-            let decoded = raw[ci * per_col..(ci + 1) * per_col]
-                .iter()
-                .map(|bytes| {
-                    let chunk = mistique_dataframe::ColumnChunk::from_bytes(bytes)
-                        .map_err(mistique_store::StoreError::from)?;
-                    Ok(decode_column(&chunk.data, value, quantizer))
-                })
-                .collect();
-            sp.finish();
-            decoded
+        let raw = &raw;
+        // Item i = (column i / per_col, block i % per_col); returns the
+        // decoded values plus the nanoseconds spent, for per-column span
+        // attribution after the fan-out completes.
+        let decode_item = |i: usize| -> Result<(Vec<f64>, u64), MistiqueError> {
+            let t0 = std::time::Instant::now();
+            let decoded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let chunk = mistique_dataframe::ColumnChunk::from_bytes(&raw[i])
+                    .map_err(mistique_store::StoreError::from)?;
+                Ok(decode_column(&chunk.data, value, quantizer))
+            }))
+            .unwrap_or_else(|payload| {
+                Err(MistiqueError::Invalid(format!(
+                    "decode of column '{}' block {} panicked: {}",
+                    wanted[i / per_col],
+                    blocks[i % per_col],
+                    panic_message(payload.as_ref())
+                )))
+            })?;
+            Ok((decoded, t0.elapsed().as_nanos() as u64))
         };
 
-        let decode_workers = workers.max(1).min(n_cols);
-        if decode_workers <= 1 {
-            return (0..n_cols).map(decode_col).collect();
+        let start_ns = obs.now_ns();
+        let items = run_striped(n_items, workers, &decode_item)?;
+
+        // Reassemble by index and emit one fetch.decode span per column —
+        // its duration the sum of that column's block decodes — so the
+        // trace tree keeps the per-column shape of PRs 2/4 even though the
+        // work was striped at block granularity.
+        let mut items = items.into_iter();
+        let mut out = Vec::with_capacity(n_cols);
+        for name in wanted {
+            let mut col_blocks = Vec::with_capacity(per_col);
+            let mut col_ns = 0u64;
+            for _ in 0..per_col {
+                let (vals, ns) = items.next().expect("one item per (col, block)");
+                col_blocks.push(vals);
+                col_ns += ns;
+            }
+            obs.record_span(
+                "fetch.decode",
+                ctx.as_ref(),
+                start_ns,
+                col_ns,
+                vec![
+                    ("col".to_string(), name.clone()),
+                    ("blocks".to_string(), per_col.to_string()),
+                ],
+            );
+            out.push(col_blocks);
         }
-        type DecodedCol = Result<Vec<Vec<f64>>, MistiqueError>;
-        let decode_col = &decode_col;
-        let mut out: Vec<Option<DecodedCol>> = (0..n_cols).map(|_| None).collect();
-        let results: Vec<Vec<(usize, DecodedCol)>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..decode_workers)
-                .map(|w| {
-                    scope.spawn(move |_| {
-                        let mut part = Vec::new();
-                        let mut ci = w;
-                        while ci < n_cols {
-                            part.push((ci, decode_col(ci)));
-                            ci += decode_workers;
-                        }
-                        part
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("column decode thread"))
-                .collect()
-        })
-        .expect("crossbeam scope");
-        for (ci, res) in results.into_iter().flatten() {
-            out[ci] = Some(res);
-        }
-        out.into_iter()
-            .map(|slot| slot.expect("every column decoded"))
-            .collect()
+        Ok(out)
     }
 
     /// Re-run path: recreate the intermediate, align its layout with the
@@ -575,6 +590,81 @@ impl Mistique {
         }
         Ok(frame)
     }
+}
+
+/// Adaptive fan-out policy for the read path: the resolved worker count is
+/// clamped to the number of work items and to the batch's serialized byte
+/// volume — each worker must have at least `min_bytes_per_worker` bytes of
+/// chunk data to justify its spawn cost, so small reads degrade to serial
+/// instead of paying thread overhead for microseconds of decode.
+fn adaptive_workers(
+    requested: usize,
+    items: usize,
+    total_bytes: u64,
+    min_bytes_per_worker: u64,
+) -> usize {
+    let by_bytes = (total_bytes / min_bytes_per_worker.max(1)).min(usize::MAX as u64) as usize;
+    requested.max(1).min(items.max(1)).min(by_bytes.max(1))
+}
+
+/// Render a worker panic payload for error messages.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `f(0..n_items)` on up to `workers` scoped threads with round-robin
+/// striding, reassembling results by item index. The output — including
+/// which error is reported when several items fail (the smallest-indexed
+/// one) — is identical at every worker count. Worker panics surface as
+/// `MistiqueError`, never a process abort.
+fn run_striped<T, F>(n_items: usize, workers: usize, f: &F) -> Result<Vec<T>, MistiqueError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, MistiqueError> + Sync,
+{
+    let workers = workers.max(1).min(n_items.max(1));
+    if workers <= 1 {
+        return (0..n_items).map(f).collect();
+    }
+    type Striped<T> = Vec<Vec<(usize, Result<T, MistiqueError>)>>;
+    let scoped = crossbeam::thread::scope(|scope| -> std::thread::Result<Striped<T>> {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move |_| {
+                    let mut part = Vec::new();
+                    let mut i = w;
+                    while i < n_items {
+                        part.push((i, f(i)));
+                        i += workers;
+                    }
+                    part
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+    let per_worker = match scoped {
+        Ok(Ok(v)) => v,
+        _ => {
+            return Err(MistiqueError::Invalid(
+                "read worker panicked outside the decode guard".to_string(),
+            ))
+        }
+    };
+    let mut slots: Vec<Option<Result<T, MistiqueError>>> = (0..n_items).map(|_| None).collect();
+    for (i, res) in per_worker.into_iter().flatten() {
+        slots[i] = Some(res);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("striding covers every item"))
+        .collect()
 }
 
 /// Pool each row of an activation frame laid out as `c x h x w` features.
@@ -804,6 +894,126 @@ mod tests {
         let r = sys.get_rows(&interm, &[3, 1], Some(&["sqft"])).unwrap();
         assert_eq!(r.strategy, FetchStrategy::Rerun);
         assert_eq!(r.frame.n_rows(), 2);
+    }
+
+    #[test]
+    fn adaptive_workers_policy() {
+        const MIN: u64 = 256 * 1024;
+        // A batch smaller than one worker's minimum runs serial.
+        assert_eq!(adaptive_workers(8, 100, 1_000, MIN), 1);
+        // The byte volume caps the fan-out below the requested count.
+        assert_eq!(adaptive_workers(8, 100, 3 * MIN, MIN), 3);
+        assert_eq!(adaptive_workers(8, 100, 8 * MIN, MIN), 8);
+        // Never more workers than work items.
+        assert_eq!(adaptive_workers(8, 2, 100 * MIN, MIN), 2);
+        // A zero threshold disables the byte clamp (treated as 1 byte).
+        assert_eq!(adaptive_workers(4, 100, 1_024, 0), 4);
+        // Degenerate inputs still resolve to at least one worker.
+        assert_eq!(adaptive_workers(0, 0, 0, MIN), 1);
+        assert_eq!(adaptive_workers(1, 16, u64::MAX, 1), 1);
+    }
+
+    #[test]
+    fn run_striped_reassembles_identically_at_every_worker_count() {
+        // 13 items (not divisible by 2 or 4): every worker count must yield
+        // the same in-order output.
+        let f = |i: usize| -> Result<u64, MistiqueError> { Ok((i as u64) * 31 + 7) };
+        let serial = run_striped(13, 1, &f).unwrap();
+        for workers in [2usize, 4, 8] {
+            assert_eq!(
+                run_striped(13, workers, &f).unwrap(),
+                serial,
+                "workers={workers}"
+            );
+        }
+        // Zero items is an empty result, not an error.
+        assert!(run_striped(0, 4, &f).unwrap().is_empty());
+    }
+
+    #[test]
+    fn run_striped_reports_the_smallest_indexed_error() {
+        // Items 2, 5 and 9 fail; every schedule must deterministically
+        // surface item 2's error.
+        let f = |i: usize| -> Result<usize, MistiqueError> {
+            if i == 2 || i == 5 || i == 9 {
+                Err(MistiqueError::Invalid(format!("item {i} failed")))
+            } else {
+                Ok(i)
+            }
+        };
+        for workers in [1usize, 2, 4] {
+            match run_striped(12, workers, &f) {
+                Err(MistiqueError::Invalid(msg)) => {
+                    assert_eq!(msg, "item 2 failed", "workers={workers}")
+                }
+                other => panic!("workers={workers}: expected Invalid, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn run_striped_worker_panic_is_an_error_not_an_abort() {
+        // A panic that escapes the per-item closure (i.e. outside the decode
+        // guard) must come back as an error from the scope, not unwind
+        // through crossbeam into an abort.
+        let f = |i: usize| -> Result<usize, MistiqueError> {
+            if i == 3 {
+                panic!("boom in worker");
+            }
+            Ok(i)
+        };
+        let err = run_striped(8, 4, &f).unwrap_err();
+        assert!(
+            matches!(&err, MistiqueError::Invalid(m) if m.contains("panicked")),
+            "unexpected error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn stripped_quantizer_decode_panic_surfaces_as_error() {
+        // A KBIT intermediate whose quantizer goes missing makes
+        // `decode_column` panic. The per-item guard must convert that into
+        // a MistiqueError naming the column — on the serial path and on the
+        // striped path alike — instead of aborting the process.
+        let dir = tempfile::tempdir().unwrap();
+        let config = MistiqueConfig {
+            row_block_size: 8,
+            storage: StorageStrategy::Dedup,
+            dnn_capture: crate::capture::CaptureScheme {
+                value: crate::capture::ValueScheme::Kbit { bits: 8 },
+                pool_sigma: None,
+            },
+            min_read_bytes_per_worker: 0,
+            ..MistiqueConfig::default()
+        };
+        let mut sys = Mistique::open(dir.path(), config).unwrap();
+        let data = Arc::new(CifarLike::generate(16, 10, 1));
+        let id = sys
+            .register_dnn(Arc::new(simple_cnn(16)), 5, 0, data, 8)
+            .unwrap();
+        sys.log_intermediates(&id).unwrap();
+        let interm = format!("{id}.layer1");
+        // Sanity: the intact read decodes.
+        sys.fetch_with_strategy(&interm, None, None, FetchStrategy::Read)
+            .unwrap();
+        // Strip the quantizer from the metadata.
+        sys.meta.intermediate_mut(&interm).unwrap().quantizer = None;
+        for workers in [1usize, 4] {
+            sys.set_read_parallelism(workers);
+            sys.store_mut().clear_read_cache();
+            let err = sys
+                .fetch_with_strategy(&interm, None, None, FetchStrategy::Read)
+                .unwrap_err();
+            match &err {
+                MistiqueError::Invalid(msg) => {
+                    assert!(
+                        msg.contains("panicked") && msg.contains("quantizer"),
+                        "workers={workers}: {msg}"
+                    );
+                }
+                other => panic!("workers={workers}: expected Invalid, got {other:?}"),
+            }
+        }
     }
 
     #[test]

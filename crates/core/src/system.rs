@@ -55,11 +55,21 @@ pub struct MistiqueConfig {
     /// a Sec 10 future-work extension; see [`crate::qcache`]).
     pub query_cache_bytes: usize,
     /// Worker threads for the stored-chunk read path (`read_stored` /
-    /// `get_rows`): partitions are fetched from disk and columns decoded
-    /// concurrently. `1` (the default) keeps the read path fully serial;
-    /// `0` means one worker per available CPU. The assembled frames are
-    /// byte-identical at every setting — only wall-clock changes.
+    /// `get_rows`): partitions are fetched from disk and `(column, block)`
+    /// chunks decoded concurrently. `1` (the default) keeps the read path
+    /// fully serial; `0` means one worker per available CPU. Any explicit
+    /// value is clamped to the host's available CPUs, and each read further
+    /// clamps its fan-out so every worker gets at least
+    /// [`MistiqueConfig::min_read_bytes_per_worker`] bytes of chunk data —
+    /// a 1-CPU host or a tiny read runs serial with zero thread overhead.
+    /// The assembled frames are byte-identical at every setting — only
+    /// wall-clock changes.
     pub read_parallelism: usize,
+    /// Minimum serialized chunk bytes each read worker must have to justify
+    /// its spawn cost: a batch read fans out over at most
+    /// `batch_bytes / min_read_bytes_per_worker` workers (min 1). `0` is
+    /// treated as 1 (fan out on any non-empty read). Default: 256 KiB.
+    pub min_read_bytes_per_worker: u64,
     /// Capacity of the span tracer's ring of completed spans — how much
     /// trace history `mistique explain` / the Perfetto export can see.
     /// Only honoured by [`Mistique::open`] / [`Mistique::open_with_backend`]
@@ -96,6 +106,7 @@ impl Default for MistiqueConfig {
             datastore: DataStoreConfig::default(),
             query_cache_bytes: 0,
             read_parallelism: 1,
+            min_read_bytes_per_worker: 256 * 1024,
             span_ring_capacity: mistique_obs::DEFAULT_RING_CAPACITY,
             report_retention: 64,
             drift_tolerance: 4.0,
@@ -532,14 +543,18 @@ impl Mistique {
         Ok(())
     }
 
-    /// Resolve `config.read_parallelism` to a concrete worker count
-    /// (`0` = one per available CPU).
+    /// Resolve `config.read_parallelism` to a concrete worker count:
+    /// `0` = one per available CPU, and explicit values are clamped to the
+    /// available CPUs — more workers than cores is pure scheduling overhead
+    /// on this CPU-bound path (the committed 0.90× regression was workers=4
+    /// on a 1-CPU host).
     pub(crate) fn effective_read_parallelism(&self) -> usize {
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         match self.config.read_parallelism {
-            0 => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-            n => n,
+            0 => cpus,
+            n => n.min(cpus),
         }
     }
 

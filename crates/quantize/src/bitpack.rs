@@ -31,26 +31,43 @@ pub fn pack(codes: &[u8], bits: u32) -> Vec<u8> {
 
 /// Unpack `count` codes of width `bits` from a stream produced by [`pack`].
 /// Returns `None` if the buffer is too short.
+///
+/// Eight codes of any width occupy exactly `bits` bytes starting on a byte
+/// boundary, so the hot loop loads one little-endian u64 window per group of
+/// eight and extracts all eight codes by shift-and-mask — no per-code byte
+/// addressing or straddle branch.
 pub fn unpack(packed: &[u8], bits: u32, count: usize) -> Option<Vec<u8>> {
     assert!((1..=8).contains(&bits), "bits must be in 1..=8");
-    if packed.len() * 8 < count * bits as usize {
+    let width = bits as usize;
+    if packed.len() * 8 < count * width {
         return None;
     }
-    let mask = if bits == 8 {
-        0xffu16
-    } else {
-        (1u16 << bits) - 1
-    };
+    let mask = if bits == 8 { 0xff } else { (1u64 << bits) - 1 };
     let mut out = Vec::with_capacity(count);
-    for i in 0..count {
-        let bitpos = i * bits as usize;
+    let groups = count / 8;
+    for g in 0..groups {
+        let base = g * width;
+        let w = if base + 8 <= packed.len() {
+            u64::from_le_bytes(packed[base..base + 8].try_into().unwrap())
+        } else {
+            // Final group of a tight buffer: widen the `width` live bytes.
+            let mut buf = [0u8; 8];
+            buf[..width].copy_from_slice(&packed[base..base + width]);
+            u64::from_le_bytes(buf)
+        };
+        for j in 0..8 {
+            out.push(((w >> (j * width)) & mask) as u8);
+        }
+    }
+    for i in groups * 8..count {
+        let bitpos = i * width;
         let byte = bitpos / 8;
         let off = (bitpos % 8) as u32;
         let mut v = (packed[byte] >> off) as u16;
         if off + bits > 8 {
             v |= (packed[byte + 1] as u16) << (8 - off);
         }
-        out.push((v & mask) as u8);
+        out.push((v as u64 & mask) as u8);
     }
     Some(out)
 }

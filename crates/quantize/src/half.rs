@@ -65,7 +65,18 @@ impl f16 {
     }
 
     /// Convert to `f32` exactly (every binary16 value is representable).
+    ///
+    /// Backed by a 65536-entry lookup table (256 KiB, built once on first
+    /// use from [`f16::to_f32_compute`]) — the LP_QT dequantize hot path is
+    /// a single indexed load per value.
+    #[inline]
     pub fn to_f32(self) -> f32 {
+        decode_table()[self.0 as usize]
+    }
+
+    /// Computational binary16 → f32 conversion (the reference the lookup
+    /// table is built from).
+    fn to_f32_compute(self) -> f32 {
         let h = self.0 as u32;
         let sign = (h & 0x8000) << 16;
         let exp = (h >> 10) & 0x1f;
@@ -103,6 +114,18 @@ impl f16 {
     }
 }
 
+/// The bits → f32 table behind [`f16::to_f32`]: one entry per 16-bit pattern.
+fn decode_table() -> &'static [f32; 1 << 16] {
+    static TABLE: std::sync::OnceLock<Box<[f32; 1 << 16]>> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = vec![0f32; 1 << 16].into_boxed_slice();
+        for (bits, slot) in t.iter_mut().enumerate() {
+            *slot = f16(bits as u16).to_f32_compute();
+        }
+        t.try_into().expect("table has 2^16 entries")
+    })
+}
+
 /// Encode an f32 slice as packed little-endian binary16 bytes (LP_QT storage).
 pub fn encode_f16(values: &[f32]) -> Vec<u8> {
     let mut out = Vec::with_capacity(values.len() * 2);
@@ -118,10 +141,11 @@ pub fn decode_f16(bytes: &[u8]) -> Option<Vec<f32>> {
     if !bytes.len().is_multiple_of(2) {
         return None;
     }
+    let table = decode_table();
     Some(
         bytes
             .chunks_exact(2)
-            .map(|c| f16(u16::from_le_bytes([c[0], c[1]])).to_f32())
+            .map(|c| table[u16::from_le_bytes([c[0], c[1]]) as usize])
             .collect(),
     )
 }
@@ -208,6 +232,20 @@ mod tests {
     #[test]
     fn odd_length_rejected() {
         assert_eq!(decode_f16(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn lookup_table_matches_computed_conversion_for_all_patterns() {
+        // The table-backed to_f32 must be bit-identical to the computational
+        // conversion for every 16-bit pattern, NaNs included.
+        for bits in 0..=0xffffu16 {
+            let h = f16(bits);
+            assert_eq!(
+                h.to_f32().to_bits(),
+                h.to_f32_compute().to_bits(),
+                "bits {bits:#06x}"
+            );
+        }
     }
 
     #[test]

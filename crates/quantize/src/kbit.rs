@@ -83,7 +83,8 @@ impl KbitQuantizer {
     /// Returns `None` on truncated input.
     pub fn decode(&self, packed: &[u8], count: usize) -> Option<Vec<f32>> {
         let codes = bitpack::unpack(packed, self.bits, count)?;
-        Some(codes.iter().map(|&c| self.value_of(c)).collect())
+        let reps = self.representatives.as_slice();
+        Some(codes.into_iter().map(|c| reps[c as usize]).collect())
     }
 
     /// Serialize the fitted quantizer (needed to decode chunks later).

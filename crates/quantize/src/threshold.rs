@@ -62,8 +62,20 @@ impl ThresholdQuantizer {
 
     /// Unpack a bit stream into booleans. Returns `None` on truncation.
     pub fn decode_packed(packed: &[u8], count: usize) -> Option<Vec<bool>> {
-        let codes = crate::bitpack::unpack(packed, 1, count)?;
-        Some(codes.iter().map(|&c| c != 0).collect())
+        if packed.len() * 8 < count {
+            return None;
+        }
+        // One byte is exactly eight booleans; the tail handles count % 8.
+        let mut out = Vec::with_capacity(count);
+        for &b in &packed[..count / 8] {
+            for j in 0..8 {
+                out.push((b >> j) & 1 != 0);
+            }
+        }
+        for i in (count / 8) * 8..count {
+            out.push((packed[i / 8] >> (i % 8)) & 1 != 0);
+        }
+        Some(out)
     }
 }
 

@@ -943,6 +943,17 @@ impl DataStore {
         None
     }
 
+    /// Estimated serialized byte volume of a batch read, summed from the
+    /// per-digest length accounting (populated on every put and persisted in
+    /// the catalog). Keys that don't resolve contribute 0 — this sizes
+    /// read fan-out, it is not an existence check.
+    pub fn batch_bytes_hint(&self, keys: &[ChunkKey]) -> u64 {
+        keys.iter()
+            .filter_map(|k| self.key_map.get(k))
+            .filter_map(|d| self.digest_len.get(d))
+            .sum()
+    }
+
     /// Batch read: the serialized bytes of many chunks at once. Partitions
     /// that must come off disk are read and unsealed concurrently on up to
     /// `parallelism` crossbeam scoped threads (decompression dominates cold
@@ -1081,34 +1092,40 @@ impl DataStore {
         let obs = &self.obs;
         let codec_map = &self.codec_read_bytes;
         let ctx_ref = ctx.as_ref();
-        let per_worker: Vec<Vec<Result<(PartitionId, Partition), StoreError>>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        scope.spawn(move |_| {
-                            let mut out = Vec::new();
-                            let mut i = w;
-                            while i < pids.len() {
-                                let pid = pids[i];
-                                let mut sp = obs.span_with_parent("store.partition.load", ctx_ref);
-                                sp.attr("pid", pid);
-                                out.push(disk.read(pid).and_then(|sealed| {
-                                    Self::note_codec_read(obs, codec_map, &sealed);
-                                    Ok((pid, Partition::unseal(pid, &sealed)?))
-                                }));
-                                sp.finish();
-                                i += workers;
-                            }
-                            out
-                        })
+        // A panicking worker must fail this read, not abort the process:
+        // join/scope failures map to an error instead of unwrapping.
+        type Loaded = Vec<Vec<Result<(PartitionId, Partition), StoreError>>>;
+        let scoped = crossbeam::thread::scope(|scope| -> std::thread::Result<Loaded> {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move |_| {
+                        let mut out = Vec::new();
+                        let mut i = w;
+                        while i < pids.len() {
+                            let pid = pids[i];
+                            let mut sp = obs.span_with_parent("store.partition.load", ctx_ref);
+                            sp.attr("pid", pid);
+                            out.push(disk.read(pid).and_then(|sealed| {
+                                Self::note_codec_read(obs, codec_map, &sealed);
+                                Ok((pid, Partition::unseal(pid, &sealed)?))
+                            }));
+                            sp.finish();
+                            i += workers;
+                        }
+                        out
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("partition load thread"))
-                    .collect()
-            })
-            .expect("crossbeam scope");
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+        let per_worker = match scoped {
+            Ok(Ok(v)) => v,
+            _ => {
+                return Err(StoreError::CorruptPartition(
+                    "partition load worker panicked",
+                ))
+            }
+        };
         let mut out = Vec::with_capacity(pids.len());
         for result in per_worker.into_iter().flatten() {
             out.push(result?);

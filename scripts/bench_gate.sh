@@ -84,3 +84,25 @@ awk -v rows="$base_rows" -v base_ms="$base_ms" -v new_ms="$new_ms" -v budget="$B
   }
   printf "OK: within the %.0f%% regression budget\n", (1 - budget) * 100
 }'
+
+# Parallel-speedup gate: on a multi-core host the parallel cold read must
+# not lose to the serial path. The adaptive fan-out clamps workers to the
+# host CPUs and batch size, so any speedup below 0.95 on a host with more
+# than one core is a real regression, not scheduling noise.
+new_speedup=$(val "$out/BENCH_read_parallel.json" bench.read_parallel.speedup)
+awk -v cpus="${host_cpus:-1}" -v speedup="$new_speedup" 'BEGIN {
+  if (cpus + 0 <= 1) {
+    print "single-CPU host: parallel-speedup gate not applicable"
+    exit 0
+  }
+  if (speedup + 0 <= 0) {
+    print "FAIL: read_parallel snapshot carries no bench.read_parallel.speedup gauge"
+    exit 1
+  }
+  printf "parallel speedup on %d cpus: %.2fx\n", cpus, speedup
+  if (speedup < 0.95) {
+    print "FAIL: parallel cold read is slower than serial (speedup < 0.95) on a multi-core host"
+    exit 1
+  }
+  print "OK: parallel read path at least matches serial"
+}'

@@ -29,11 +29,13 @@ cargo test -q -p mistique-core --test reclaim
 cargo test -q -p mistique-core --test timeline
 cargo test -q -p mistique-core --test telemetry_crash
 cargo test -q -p mistique-core --test obs_coverage
+cargo test -q -p mistique-core --test parallel_read
 cargo test -q -p mistique-obs
 cargo test -q -p mistique-store --test lru_model
 cargo test -q -p mistique-store --test compaction
 cargo test -q -p mistique-compress --test truncation_fuzz
 cargo test -q -p mistique-compress --test proptest_roundtrip
+cargo test -q -p mistique-compress --test lzss_window_fuzz
 cargo test -q -p mistique-nn --test proptest_layers
 
 echo "all checks passed"
