@@ -48,6 +48,16 @@ impl CostModel {
         bytes * factor / self.read_bandwidth
     }
 
+    /// Predicted seconds for an **indexed** read (the `IndexedRead` plan):
+    /// Eq 4 restricted to the rows the index could not prune — the rows of
+    /// the RowBlocks that survive zone-map pruning, or the `k` list entries
+    /// of a list-served top-k. Always `≤ t_read(meta, n_rows)`, which is
+    /// why the planner only refines a Read decision into an IndexedRead,
+    /// never overrides a Rerun one.
+    pub fn t_indexed_read(&self, meta: &IntermediateMeta, rows_scanned: usize) -> f64 {
+        self.t_read(meta, rows_scanned)
+    }
+
     /// Predicted seconds to re-run the model up to this intermediate for
     /// `n_ex` examples (Eq 2/3). For TRAD models the pipeline always runs
     /// over its full tables, so `n_ex` is ignored; for DNNs the measured
@@ -261,6 +271,21 @@ mod tests {
         let m = interm(0, 8000, 1000); // 8 bytes/row
         assert!((cm.t_read(&m, 1000) - 8.0).abs() < 1e-9);
         assert!((cm.t_read(&m, 500) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn indexed_read_is_never_costlier_than_the_full_scan() {
+        let cm = CostModel {
+            read_bandwidth: 1000.0,
+            ..Default::default()
+        };
+        let m = interm(0, 8000, 1000);
+        let full = cm.t_read(&m, 1000);
+        // Pruning to a fraction of the rows prices proportionally cheaper.
+        assert!((cm.t_indexed_read(&m, 250) - full / 4.0).abs() < 1e-9);
+        for rows in [0usize, 1, 10, 500, 1000] {
+            assert!(cm.t_indexed_read(&m, rows) <= full + 1e-12, "rows={rows}");
+        }
     }
 
     #[test]

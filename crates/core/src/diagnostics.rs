@@ -80,6 +80,11 @@ impl Mistique {
         column: &str,
         k: usize,
     ) -> Result<Vec<(usize, f64)>, MistiqueError> {
+        // Indexed fast path: the max-activation list answers without
+        // touching the store whenever the planner would have chosen Read.
+        if let Some(top) = self.try_indexed_topk(intermediate, column, k) {
+            return Ok(top);
+        }
         let r = self.get_intermediate(intermediate, Some(&[column]), None)?;
         let values = r.frame.columns()[0].data.to_f64();
         let mut pairs: Vec<(usize, f64)> = values.into_iter().enumerate().collect();
@@ -511,6 +516,11 @@ impl Mistique {
         column: &str,
         threshold: f64,
     ) -> Result<Vec<usize>, MistiqueError> {
+        // Indexed fast path: zone maps prune blocks whose max cannot clear
+        // the threshold; only the surviving blocks are read and filtered.
+        if let Some(rows) = self.try_indexed_select_gt(intermediate, column, threshold)? {
+            return Ok(rows);
+        }
         let r = self.get_intermediate(intermediate, Some(&[column]), None)?;
         Ok(r.frame.columns()[0]
             .data

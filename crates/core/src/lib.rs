@@ -52,6 +52,7 @@ pub mod cost;
 pub mod diagnostics;
 pub mod error;
 pub mod executor;
+pub mod index_state;
 pub mod manager;
 pub mod metadata;
 pub mod persist;
@@ -67,13 +68,17 @@ pub use cost::{CostModel, DriftMonitor};
 // `Mistique::obs()` hands out an `Obs`, snapshots come back as `Snapshot`.
 pub use error::MistiqueError;
 pub use executor::ModelSource;
+pub use index_state::IndexPruning;
 pub use manager::{next_demotion, COMPACT_LIVE_RATIO};
 pub use metadata::{IntermediateMeta, MetadataDb, ModelKind};
+pub use mistique_index::{IntermediateIndex, DEFAULT_TOP_M};
 pub use mistique_obs::{
     counter_trace_json, validate_prometheus, Counter, EngineEvent, Gauge, HistPoint, Histogram,
     Obs, RecorderStats, Snapshot, Span, SpanContext, SpanRecord, Timeline, TimelinePoint,
 };
-pub use mistique_store::{CompactionReport, RetractOutcome, TelemetryDir, TELEMETRY_SUBDIR};
+pub use mistique_store::{
+    CompactionReport, IndexDir, RetractOutcome, TelemetryDir, INDEX_SUBDIR, TELEMETRY_SUBDIR,
+};
 pub use reader::{FetchResult, FetchStrategy};
 pub use report::{DemotionRecord, PlanChoice, QueryReport, ReclaimReport, ReportRing, SeqRing};
 pub use system::{Mistique, MistiqueConfig, StorageStrategy};

@@ -95,6 +95,49 @@ impl Mistique {
 
         let mut demotions: Vec<DemotionRecord> = Vec::new();
         let mut purged: Vec<String> = Vec::new();
+        // Index bytes are the cheapest bytes to reclaim: dropping an index
+        // can never change an answer (queries degrade to the scan path), so
+        // the pass sheds the coldest intermediates' indexes before touching
+        // any data. Index bytes are accounted *on top of* the data-only
+        // `storage_budget_used()`, which this phase leaves untouched.
+        if budget_bytes > 0 && self.index_enabled() {
+            let mut cold: Vec<(String, f64)> = Vec::new();
+            for model_id in self.meta.model_ids() {
+                let Some(model) = self.meta.model(&model_id) else {
+                    continue;
+                };
+                for m in self.meta.intermediates_of(&model_id) {
+                    if m.materialized {
+                        cold.push((m.id.clone(), self.cost.gamma_now(model, m)));
+                    }
+                }
+            }
+            cold.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+            // Load lazily first so on-disk indexes from a previous session
+            // show up in the byte accounting.
+            for (id, _) in &cold {
+                let _ = self.index_for(id);
+            }
+            for (id, gamma) in cold {
+                if self.storage_budget_used() + self.index_total_bytes() <= budget_bytes {
+                    break;
+                }
+                let bytes_before = self.index_bytes_of(&id);
+                if bytes_before == 0 {
+                    continue;
+                }
+                self.index_drop(&id);
+                self.obs.counter("adaptive.demotions").inc();
+                demotions.push(DemotionRecord {
+                    intermediate: id,
+                    from: "INDEX".to_string(),
+                    to: "DROPPED".to_string(),
+                    bytes_before,
+                    bytes_after: 0,
+                    gamma,
+                });
+            }
+        }
         if budget_bytes > 0 {
             // Ladder is finite (≤ 4 steps per intermediate), but keep a hard
             // cap so a pathological accounting bug cannot spin forever.
@@ -200,6 +243,8 @@ impl Mistique {
         for d in &report.demotions {
             let kind = if d.to == "PURGED" {
                 "reclaim.purge"
+            } else if d.from == "INDEX" {
+                "reclaim.index_drop"
             } else {
                 "reclaim.demote"
             };
@@ -309,6 +354,10 @@ impl Mistique {
         next: ValueScheme,
     ) -> Result<u64, MistiqueError> {
         let meta = self.meta.intermediate(intermediate_id).unwrap().clone();
+        // Decide *before* the metadata changes whether the index follows the
+        // intermediate down the ladder: a rebuild only happens if an index
+        // existed, so a reclaim pass that shed it is not undone here.
+        let had_index = self.index_exists(intermediate_id);
         let mut sp = mistique_obs::span!(self.obs, "reclaim.demote", interm = intermediate_id);
         sp.attr("to", next.name());
 
@@ -392,6 +441,13 @@ impl Mistique {
             bytes += serialized;
         }
 
+        // Re-index the re-encoded representation (decoding it exactly as the
+        // read path will) so indexed answers stay bit-identical after the
+        // demotion.
+        if had_index {
+            self.index_observe_frame(intermediate_id, &encoded, next, quantizer.as_deref());
+        }
+
         let m = self.meta.intermediate_mut(intermediate_id).unwrap();
         m.scheme = CaptureScheme {
             value: next,
@@ -400,6 +456,11 @@ impl Mistique {
         m.stored_bytes = bytes;
         m.quantizer = quantizer;
         m.threshold = threshold;
+        if had_index {
+            // Finish after the metadata mutation: the persisted file pins
+            // the *new* scheme and row count for staleness checks.
+            self.index_finish_build(intermediate_id);
+        }
         sp.finish();
         Ok(bytes)
     }
@@ -424,6 +485,8 @@ impl Mistique {
         m.materialized = false;
         m.quantizer = None;
         m.threshold = None;
+        // An index over purged data is pure garbage; drop it with the data.
+        self.index_drop(intermediate_id);
         sp.attr("bytes_released", outcome.bytes_released);
         sp.finish();
         Ok(outcome.bytes_released)

@@ -3,9 +3,12 @@
 //! opportunities to further reduce execution time via caching").
 //!
 //! A byte-budgeted LRU over fetched frames, keyed by
-//! `(intermediate, columns, n_ex)`. Entries for an intermediate are
-//! invalidated whenever its storage state changes (e.g. adaptive
-//! materialization re-stores it at a different scheme).
+//! `(intermediate, columns, n_ex, index_version)`. Entries for an
+//! intermediate are invalidated whenever its storage state changes (e.g.
+//! adaptive materialization re-stores it at a different scheme); carrying
+//! the index version in the key additionally guarantees that dropping or
+//! rebuilding an intermediate's index can never serve a frame cached under
+//! a different index regime.
 
 use std::collections::HashMap;
 
@@ -20,10 +23,19 @@ pub(crate) struct CacheKey {
     /// Sorted requested columns; `None` = all columns.
     pub columns: Option<Vec<String>>,
     pub n_ex: Option<usize>,
+    /// The intermediate's index version at fetch time (0 = no index). A
+    /// dropped or rebuilt index changes the version, so stale entries can
+    /// never shadow a fetch planned under a different index state.
+    pub index_version: u64,
 }
 
 impl CacheKey {
-    pub fn new(intermediate: &str, columns: Option<&[&str]>, n_ex: Option<usize>) -> CacheKey {
+    pub fn new(
+        intermediate: &str,
+        columns: Option<&[&str]>,
+        n_ex: Option<usize>,
+        index_version: u64,
+    ) -> CacheKey {
         let columns = columns.map(|cols| {
             let mut v: Vec<String> = cols.iter().map(|s| s.to_string()).collect();
             v.sort();
@@ -33,6 +45,7 @@ impl CacheKey {
             intermediate: intermediate.to_string(),
             columns,
             n_ex,
+            index_version,
         }
     }
 }
@@ -210,7 +223,7 @@ mod tests {
     #[test]
     fn disabled_cache_never_stores() {
         let mut c = QueryCache::new(0);
-        let key = CacheKey::new("i", None, None);
+        let key = CacheKey::new("i", None, None, 0);
         c.insert(key.clone(), &frame(1.0, 10));
         assert!(c.get(&key).is_none());
         assert!(!c.enabled());
@@ -219,19 +232,36 @@ mod tests {
     #[test]
     fn hit_returns_equal_frame_and_counts() {
         let mut c = QueryCache::new(1 << 20);
-        let key = CacheKey::new("i", Some(&["x"]), Some(5));
+        let key = CacheKey::new("i", Some(&["x"]), Some(5), 0);
         let f = frame(2.0, 5);
         c.insert(key.clone(), &f);
         assert_eq!(c.get(&key), Some(f));
         assert_eq!(c.hits(), 1);
-        assert!(c.get(&CacheKey::new("other", None, None)).is_none());
+        assert!(c.get(&CacheKey::new("other", None, None, 0)).is_none());
         assert_eq!(c.misses(), 1);
     }
 
     #[test]
+    fn index_version_partitions_the_key_space() {
+        // The same request under a different index version is a different
+        // key: dropping or rebuilding an index must never hit entries
+        // cached under the previous index state.
+        let v0 = CacheKey::new("i", Some(&["x"]), Some(5), 0);
+        let v1 = CacheKey::new("i", Some(&["x"]), Some(5), 1);
+        let v2 = CacheKey::new("i", Some(&["x"]), Some(5), 2);
+        assert_ne!(v0, v1);
+        assert_ne!(v1, v2);
+        let mut c = QueryCache::new(1 << 20);
+        c.insert(v1.clone(), &frame(1.0, 5));
+        assert!(c.get(&v0).is_none());
+        assert!(c.get(&v2).is_none());
+        assert!(c.get(&v1).is_some());
+    }
+
+    #[test]
     fn column_order_is_canonicalized() {
-        let a = CacheKey::new("i", Some(&["b", "a"]), None);
-        let b = CacheKey::new("i", Some(&["a", "b"]), None);
+        let a = CacheKey::new("i", Some(&["b", "a"]), None, 0);
+        let b = CacheKey::new("i", Some(&["a", "b"]), None, 0);
         assert_eq!(a, b);
     }
 
@@ -239,9 +269,9 @@ mod tests {
     fn lru_eviction_under_budget_pressure() {
         // Each frame is 100 rows * 8 bytes = 800 bytes; budget fits two.
         let mut c = QueryCache::new(1700);
-        let k1 = CacheKey::new("i1", None, None);
-        let k2 = CacheKey::new("i2", None, None);
-        let k3 = CacheKey::new("i3", None, None);
+        let k1 = CacheKey::new("i1", None, None, 0);
+        let k2 = CacheKey::new("i2", None, None, 0);
+        let k3 = CacheKey::new("i3", None, None, 0);
         c.insert(k1.clone(), &frame(1.0, 100));
         c.insert(k2.clone(), &frame(2.0, 100));
         // Touch k1 so k2 is LRU.
@@ -257,7 +287,7 @@ mod tests {
     #[test]
     fn oversized_entry_is_not_cached() {
         let mut c = QueryCache::new(100);
-        let key = CacheKey::new("i", None, None);
+        let key = CacheKey::new("i", None, None, 0);
         c.insert(key.clone(), &frame(1.0, 1000)); // 8000 bytes > 100
         assert!(c.get(&key).is_none());
         assert_eq!(c.used_bytes(), 0);
@@ -266,9 +296,9 @@ mod tests {
     #[test]
     fn invalidate_drops_only_that_intermediate() {
         let mut c = QueryCache::new(1 << 20);
-        let k1 = CacheKey::new("i1", None, None);
-        let k1b = CacheKey::new("i1", Some(&["x"]), Some(3));
-        let k2 = CacheKey::new("i2", None, None);
+        let k1 = CacheKey::new("i1", None, None, 0);
+        let k1b = CacheKey::new("i1", Some(&["x"]), Some(3), 0);
+        let k2 = CacheKey::new("i2", None, None, 0);
         c.insert(k1.clone(), &frame(1.0, 10));
         c.insert(k1b.clone(), &frame(1.5, 3));
         c.insert(k2.clone(), &frame(2.0, 10));

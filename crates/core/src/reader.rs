@@ -74,7 +74,13 @@ impl Mistique {
         // The key carries the clamped row count (the same one the cost model
         // and fetch use), so `None`, `Some(n_rows)`, and oversized requests —
         // which all return the identical frame — share a single entry.
-        let cache_key = crate::qcache::CacheKey::new(intermediate_id, columns, Some(n_effective));
+        let index_version = self.index_version(intermediate_id);
+        let cache_key = crate::qcache::CacheKey::new(
+            intermediate_id,
+            columns,
+            Some(n_effective),
+            index_version,
+        );
         if let Some(frame) = self.qcache.get(&cache_key) {
             let mut sp = self.obs.span("fetch.cached");
             sp.attr("interm", intermediate_id).attr("n_ex", n_effective);
@@ -102,6 +108,7 @@ impl Mistique {
                 trace_id,
                 drift_ratio: None,
                 drift_flagged: false,
+                pruning: None,
             });
             return Ok(FetchResult {
                 frame,
@@ -254,6 +261,7 @@ impl Mistique {
             trace_id,
             drift_ratio: Some(drift_ratio),
             drift_flagged,
+            pruning: None,
         });
 
         self.meta.bump_queries(intermediate_id);
@@ -366,6 +374,7 @@ impl Mistique {
             trace_id,
             drift_ratio: None,
             drift_flagged: false,
+            pruning: None,
         });
         self.meta.bump_queries(intermediate_id);
         Ok(FetchResult {
@@ -375,6 +384,175 @@ impl Mistique {
             predicted_read: 0.0,
             predicted_rerun: 0.0,
         })
+    }
+
+    /// Serve a top-k query straight from the max-activation index. Returns
+    /// `None` whenever the index cannot answer — disabled, absent, stale,
+    /// column unknown, list shorter than `k`, or the cost model prefers a
+    /// re-run. The last case is load-bearing for equivalence: the index
+    /// holds *decoded stored* values, so it may only ever substitute for a
+    /// Read plan (the scan path would serve the same decoded values), never
+    /// for a full-precision Rerun.
+    pub(crate) fn try_indexed_topk(
+        &mut self,
+        intermediate_id: &str,
+        column: &str,
+        k: usize,
+    ) -> Option<Vec<(usize, f64)>> {
+        if !self.index_enabled() {
+            return None;
+        }
+        let (can_read, should_read, n_rows, predicted_read, predicted_rerun, pidx, scheme, bound) = {
+            let meta = self.meta.intermediate(intermediate_id)?;
+            let model = self.meta.model(&meta.model_id)?;
+            if !meta.columns.iter().any(|m| m == column) {
+                return None;
+            }
+            (
+                meta.materialized,
+                self.cost.should_read(model, meta, meta.n_rows),
+                meta.n_rows,
+                self.cost.t_read(meta, meta.n_rows),
+                self.cost.t_rerun(model, meta, meta.n_rows),
+                self.cost.t_indexed_read(meta, k.min(meta.n_rows)),
+                meta.scheme.name(),
+                meta.scheme.value.error_bound(),
+            )
+        };
+        if !can_read || !should_read {
+            return None;
+        }
+        let idx = self.index_for(intermediate_id)?;
+        let top = idx.topk(column, k)?;
+        // Served entirely from the in-memory list: every block is skipped.
+        let blocks_total = n_rows.div_ceil(self.config.row_block_size);
+        let mut sp = self.obs.span("fetch.indexed");
+        sp.attr("interm", intermediate_id).attr("k", k);
+        let trace_id = sp.trace_id();
+        let actual = sp.finish();
+        self.index_count_hit(blocks_total);
+        self.meta.bump_queries(intermediate_id);
+        let query = self
+            .query_label
+            .clone()
+            .unwrap_or_else(|| "fetch".to_string());
+        self.push_report(QueryReport {
+            seq: 0,
+            query,
+            intermediate: intermediate_id.to_string(),
+            plan: PlanChoice::IndexedRead,
+            predicted_read_s: predicted_read,
+            predicted_rerun_s: predicted_rerun,
+            actual,
+            n_ex: top.len(),
+            cache_hit: false,
+            attribution: ReadAttribution::default(),
+            scheme,
+            error_bound: bound,
+            trace_id,
+            drift_ratio: None,
+            drift_flagged: false,
+            pruning: Some(crate::index_state::IndexPruning {
+                blocks_total,
+                blocks_skipped: blocks_total,
+                predicted_s: pidx,
+            }),
+        });
+        Some(top)
+    }
+
+    /// Serve a `select_where_gt` via the zone maps: skip every RowBlock
+    /// whose max (over non-NaN values) cannot exceed the threshold, read and
+    /// filter only the surviving blocks. Returns `Ok(None)` whenever the
+    /// index cannot answer (same degradation contract as
+    /// [`Mistique::try_indexed_topk`]); read errors propagate.
+    pub(crate) fn try_indexed_select_gt(
+        &mut self,
+        intermediate_id: &str,
+        column: &str,
+        threshold: f64,
+    ) -> Result<Option<Vec<usize>>, MistiqueError> {
+        if !self.index_enabled() {
+            return Ok(None);
+        }
+        let Some(meta) = self.meta.intermediate(intermediate_id).cloned() else {
+            return Ok(None);
+        };
+        let Some(model) = self.meta.model(&meta.model_id).cloned() else {
+            return Ok(None);
+        };
+        if !meta.columns.iter().any(|m| m == column) {
+            return Ok(None);
+        }
+        if !meta.materialized || !self.cost.should_read(&model, &meta, meta.n_rows) {
+            return Ok(None);
+        }
+        let Some(idx) = self.index_for(intermediate_id) else {
+            return Ok(None);
+        };
+        let Some((keep, blocks_total)) = idx.blocks_passing_gt(column, threshold) else {
+            return Ok(None);
+        };
+        let predicted_read = self.cost.t_read(&meta, meta.n_rows);
+        let predicted_rerun = self.cost.t_rerun(&model, &meta, meta.n_rows);
+        let rbs = self.config.row_block_size;
+        let store_before = self.store.read_attribution();
+        let mut sp = self.obs.span("fetch.indexed");
+        sp.attr("interm", intermediate_id)
+            .attr("blocks", keep.len());
+        let trace_id = sp.trace_id();
+        // `keep` is ascending (zone maps are walked in block order), so
+        // emitting `block * rbs + i` preserves the scan's ascending row-id
+        // ordering exactly.
+        let mut rows: Vec<usize> = Vec::new();
+        let mut rows_scanned = 0usize;
+        if !keep.is_empty() {
+            let wanted = [column.to_string()];
+            let per_col = self.read_column_blocks(&meta, &wanted, &keep)?;
+            for (bi, &block) in keep.iter().enumerate() {
+                for (i, &v) in per_col[0][bi].iter().enumerate() {
+                    let row = block * rbs + i;
+                    if row >= meta.n_rows {
+                        break;
+                    }
+                    rows_scanned += 1;
+                    if v > threshold {
+                        rows.push(row);
+                    }
+                }
+            }
+        }
+        let fetch_time = sp.finish();
+        let blocks_skipped = blocks_total - keep.len();
+        self.index_count_hit(blocks_skipped);
+        self.meta.bump_queries(intermediate_id);
+        let query = self
+            .query_label
+            .clone()
+            .unwrap_or_else(|| "fetch".to_string());
+        self.push_report(QueryReport {
+            seq: 0,
+            query,
+            intermediate: intermediate_id.to_string(),
+            plan: PlanChoice::IndexedRead,
+            predicted_read_s: predicted_read,
+            predicted_rerun_s: predicted_rerun,
+            actual: fetch_time,
+            n_ex: rows_scanned,
+            cache_hit: false,
+            attribution: self.store.read_attribution().since(&store_before),
+            scheme: meta.scheme.name(),
+            error_bound: meta.scheme.value.error_bound(),
+            trace_id,
+            drift_ratio: None,
+            drift_flagged: false,
+            pruning: Some(crate::index_state::IndexPruning {
+                blocks_total,
+                blocks_skipped,
+                predicted_s: self.cost.t_indexed_read(&meta, rows_scanned),
+            }),
+        });
+        Ok(Some(rows))
     }
 
     /// Read path: gather the chunks of each requested column across the
@@ -421,7 +599,7 @@ impl Mistique {
     /// so the output is identical at every `read_parallelism` setting, and a
     /// failing (or panicking) chunk surfaces as the error of the
     /// smallest-indexed item regardless of worker schedule.
-    fn read_column_blocks(
+    pub(crate) fn read_column_blocks(
         &mut self,
         meta: &crate::metadata::IntermediateMeta,
         wanted: &[String],
@@ -577,6 +755,10 @@ impl Mistique {
                     };
                     m.quantizer = None;
                     m.threshold = None;
+                    // The freshly stored chunks are full-precision: index
+                    // them so subsequent top-k/threshold queries can prune.
+                    self.index_observe_frame(intermediate_id, &frame, ValueScheme::Full, None);
+                    self.index_finish_build(intermediate_id);
                     // The promotion may have pushed the store past the
                     // configured budget; demote/purge colder intermediates
                     // to make room.

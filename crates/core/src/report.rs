@@ -20,16 +20,22 @@ pub enum PlanChoice {
     Rerun,
     /// The session query cache served the result outright.
     Cached,
+    /// A secondary index served the query: top-k from the max-activation
+    /// list, or a threshold scan restricted to the RowBlocks the zone maps
+    /// could not prove empty (see [`crate::index_state`]). Always
+    /// bit-identical to the scan it replaces.
+    IndexedRead,
 }
 
 impl PlanChoice {
-    /// Lower-case plan name (`read` / `rerun` / `cached`), also used as the
-    /// drift-monitor query class.
+    /// Lower-case plan name (`read` / `rerun` / `cached` / `indexed_read`),
+    /// also used as the drift-monitor query class.
     pub fn name(&self) -> &'static str {
         match self {
             PlanChoice::Read => "read",
             PlanChoice::Rerun => "rerun",
             PlanChoice::Cached => "cached",
+            PlanChoice::IndexedRead => "indexed_read",
         }
     }
 }
@@ -79,6 +85,11 @@ pub struct QueryReport {
     /// Whether the drift monitor considered the class miscalibrated at this
     /// query.
     pub drift_flagged: bool,
+    /// Block-skip attribution when the plan was
+    /// [`PlanChoice::IndexedRead`]: total blocks, blocks the index proved
+    /// skippable, and the indexed-plan cost prediction. `None` for every
+    /// other plan.
+    pub pruning: Option<crate::index_state::IndexPruning>,
 }
 
 impl QueryReport {
@@ -104,6 +115,15 @@ impl QueryReport {
             self.n_ex,
             self.cache_hit
         );
+        if let Some(p) = &self.pruning {
+            let _ = writeln!(
+                out,
+                "  index    : skipped {}/{} blocks  (predicted {})",
+                p.blocks_skipped,
+                p.blocks_total,
+                fmt_secs(p.predicted_s),
+            );
+        }
         let a = &self.attribution;
         let _ = writeln!(
             out,
@@ -389,6 +409,7 @@ mod tests {
             trace_id: 42,
             drift_ratio: Some(0.667),
             drift_flagged: false,
+            pruning: None,
         }
     }
 

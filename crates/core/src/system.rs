@@ -95,6 +95,15 @@ pub struct MistiqueConfig {
     /// bytes are **not** counted against `storage_budget_bytes`. `0`
     /// disables telemetry entirely. Default: 1 MiB.
     pub telemetry_budget_bytes: u64,
+    /// Max-activation list length of the secondary indexes (zone maps +
+    /// top-m lists, persisted under `<dir>/index/`; see
+    /// [`crate::index_state`]). Top-k queries with `k ≤ index_top_m` are
+    /// served from the list without touching the data store; threshold
+    /// scans skip RowBlocks the zone maps prove empty. `0` disables
+    /// indexing entirely. Index bytes are not counted against
+    /// `storage_budget_bytes` but are the first thing a reclaim pass sheds.
+    /// Default: [`mistique_index::DEFAULT_TOP_M`].
+    pub index_top_m: usize,
 }
 
 impl Default for MistiqueConfig {
@@ -112,6 +121,7 @@ impl Default for MistiqueConfig {
             drift_tolerance: 4.0,
             storage_budget_bytes: 0,
             telemetry_budget_bytes: 1 << 20,
+            index_top_m: mistique_index::DEFAULT_TOP_M,
         }
     }
 }
@@ -151,6 +161,9 @@ pub struct Mistique {
     /// Flight recorder (telemetry timeline + event journal), when enabled
     /// by `telemetry_budget_bytes`. See [`crate::telemetry`].
     pub(crate) telemetry: Option<crate::telemetry::TelemetryState>,
+    /// Secondary indexes (zone maps + max-activation lists), when enabled
+    /// by `index_top_m`. See [`crate::index_state`].
+    pub(crate) index: Option<crate::index_state::IndexState>,
 }
 
 impl Mistique {
@@ -198,6 +211,7 @@ impl Mistique {
         let reclaims = crate::report::SeqRing::new(config.report_retention);
         let drift = crate::cost::DriftMonitor::new(0.2, config.drift_tolerance);
         let telemetry = crate::telemetry::TelemetryState::create(&config, &backend, dir.as_ref());
+        let index = crate::index_state::IndexState::create(&config, &backend, dir.as_ref(), &obs);
         Ok(Mistique {
             dir: dir.as_ref().to_path_buf(),
             config,
@@ -216,6 +230,7 @@ impl Mistique {
             drift,
             query_label: None,
             telemetry,
+            index,
         })
     }
 
@@ -646,12 +661,41 @@ impl Mistique {
                 threshold: None,
                 shape: None,
             });
+            if materialize {
+                // Index the decoded values a scan would see (TRAD stores at
+                // full precision), then persist — best-effort.
+                self.index_observe_frame(
+                    &rec.intermediate_id,
+                    &rec.output,
+                    ValueScheme::Full,
+                    None,
+                );
+                self.index_finish_build(&rec.intermediate_id);
+            }
         }
         self.store_time.insert(model_id, t_store.elapsed());
         Ok(())
     }
 
     fn log_dnn(
+        &mut self,
+        source: &ModelSource,
+        arch: &Arc<ArchConfig>,
+        seed: u64,
+        epoch: u32,
+        data: &Arc<CifarLike>,
+    ) -> Result<(), MistiqueError> {
+        let r = self.log_dnn_inner(source, arch, seed, epoch, data);
+        if r.is_err() {
+            // A failed pass leaves one partially-fed index builder per
+            // layer; none of them may ever persist.
+            let prefix = format!("{}.layer", source.id());
+            self.index_discard_builders_with_prefix(&prefix);
+        }
+        r
+    }
+
+    fn log_dnn_inner(
         &mut self,
         source: &ModelSource,
         arch: &Arc<ArchConfig>,
@@ -750,6 +794,21 @@ impl Mistique {
                         stored_bytes[li] += serialized;
                     }
                     store_elapsed += t_store.elapsed();
+                    // Grow the secondary index block by block, decoding the
+                    // captured chunk exactly as the read path will (the
+                    // quantizer fitted on the first block is the one every
+                    // stored block — including this one — decodes under).
+                    for col in captured.frame.columns() {
+                        let name = col.name.clone();
+                        self.index_observe_block(
+                            &interm_id,
+                            &name,
+                            block as usize,
+                            &col.data,
+                            capture.value,
+                            quantizers[li].as_deref(),
+                        );
+                    }
                 } else {
                     stored_bytes[li] += Self::frame_stored_bytes(&captured.frame, block_rows);
                 }
@@ -779,6 +838,12 @@ impl Mistique {
                 threshold: thresholds[li],
                 shape: Some(shapes[li]),
             });
+        }
+        // Metadata is registered; finalize and persist the per-layer
+        // indexes accumulated above (no-op when not materializing).
+        for li in 0..n_layers {
+            let interm_id = format!("{}.layer{}", model_id, li + 1);
+            self.index_finish_build(&interm_id);
         }
         self.store_time.insert(model_id, store_elapsed);
         Ok(())

@@ -1,0 +1,136 @@
+//! Storage-backend adapter for the secondary-index files.
+//!
+//! `mistique-index` structures (zone maps + max-activation lists) persist
+//! through this adapter so every byte goes through the same
+//! [`StorageBackend`] — and therefore the same fault-injection harness — as
+//! partition data. Index files live in their own `index/` subdirectory
+//! under the store directory; `list_dir` only reports direct-children
+//! files, so the data store's sweep, quarantine, and budget accounting
+//! never see them. A torn or garbage index file can therefore never
+//! quarantine a data partition: the worst outcome is a scan.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::backend::StorageBackend;
+
+/// Subdirectory of the store directory that holds index files.
+pub const INDEX_SUBDIR: &str = "index";
+
+/// Index-file I/O over a [`StorageBackend`], rooted at `<store dir>/index/`.
+#[derive(Debug, Clone)]
+pub struct IndexDir {
+    backend: Arc<dyn StorageBackend>,
+    dir: PathBuf,
+}
+
+impl IndexDir {
+    /// Create the adapter (and the `index/` subdirectory) under `store_dir`,
+    /// and sweep any `.tmp` orphans a crash mid-`write_atomic` left behind.
+    pub fn create(backend: Arc<dyn StorageBackend>, store_dir: &Path) -> io::Result<IndexDir> {
+        let dir = store_dir.join(INDEX_SUBDIR);
+        backend.create_dir_all(&dir)?;
+        let io = IndexDir { backend, dir };
+        for name in io.list()? {
+            if name.ends_with(".tmp") {
+                io.remove(&name)?;
+            }
+        }
+        Ok(io)
+    }
+
+    /// The adapter without creating the directory — for read-only access to
+    /// an index tree that may not exist (listing a missing directory
+    /// reports no files).
+    pub fn open_readonly(backend: Arc<dyn StorageBackend>, store_dir: &Path) -> IndexDir {
+        IndexDir {
+            backend,
+            dir: store_dir.join(INDEX_SUBDIR),
+        }
+    }
+
+    /// The directory index files are stored in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// File names (not paths) present in the index directory.
+    pub fn list(&self) -> io::Result<Vec<String>> {
+        if !self.backend.exists(&self.dir) {
+            return Ok(Vec::new());
+        }
+        Ok(self
+            .backend
+            .list_dir(&self.dir)?
+            .into_iter()
+            .filter_map(|p| p.file_name().map(|n| n.to_string_lossy().into_owned()))
+            .collect())
+    }
+
+    /// Read one index file.
+    pub fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.backend.read_file(&self.dir.join(name))
+    }
+
+    /// Whether an index file exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.backend.exists(&self.dir.join(name))
+    }
+
+    /// Crash-safe whole-file write (tmp + fsync + rename + dir fsync).
+    pub fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.backend.write_atomic(&self.dir.join(name), bytes)
+    }
+
+    /// Remove one index file and make the removal durable.
+    pub fn remove(&self, name: &str) -> io::Result<()> {
+        self.backend.remove_file(&self.dir.join(name))?;
+        self.backend.sync_dir(&self.dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::RealFs;
+
+    #[test]
+    fn round_trips_index_files_under_the_store_dir() {
+        let tmp = tempfile::tempdir().unwrap();
+        let backend: Arc<dyn StorageBackend> = Arc::new(RealFs);
+        let io = IndexDir::create(Arc::clone(&backend), tmp.path()).unwrap();
+        assert!(io.list().unwrap().is_empty());
+        io.write_atomic("idx_a.json", b"{}").unwrap();
+        io.write_atomic("idx_b.json", b"{}").unwrap();
+        assert_eq!(io.list().unwrap().len(), 2);
+        assert!(io.exists("idx_a.json"));
+        assert_eq!(io.read("idx_a.json").unwrap(), b"{}");
+        io.remove("idx_b.json").unwrap();
+        assert_eq!(io.list().unwrap().len(), 1);
+        // Index files are invisible to a listing of the store dir itself.
+        assert!(backend.list_dir(tmp.path()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn create_sweeps_tmp_orphans() {
+        let tmp = tempfile::tempdir().unwrap();
+        let backend: Arc<dyn StorageBackend> = Arc::new(RealFs);
+        let io = IndexDir::create(Arc::clone(&backend), tmp.path()).unwrap();
+        io.write_atomic("idx_live.json", b"{}").unwrap();
+        backend
+            .write_file(&io.dir().join("idx_dead.json.tmp"), b"to")
+            .unwrap();
+        let io = IndexDir::create(backend, tmp.path()).unwrap();
+        assert_eq!(io.list().unwrap(), vec!["idx_live.json".to_string()]);
+    }
+
+    #[test]
+    fn readonly_open_of_missing_dir_lists_nothing() {
+        let tmp = tempfile::tempdir().unwrap();
+        let backend: Arc<dyn StorageBackend> = Arc::new(RealFs);
+        let io = IndexDir::open_readonly(backend, &tmp.path().join("nope"));
+        assert!(io.list().unwrap().is_empty());
+        assert!(!io.exists("idx_a.json"));
+    }
+}

@@ -20,6 +20,7 @@
 pub mod backend;
 pub mod datastore;
 pub mod disk;
+pub mod index_io;
 pub mod lru;
 pub mod mem;
 pub mod partition;
@@ -31,6 +32,7 @@ pub use datastore::{
     RecoveryReport, RetractOutcome, StoreStats,
 };
 pub use disk::DiskStore;
+pub use index_io::{IndexDir, INDEX_SUBDIR};
 pub use lru::{LruCache, LruList};
 pub use mem::InMemoryStore;
 pub use partition::{Partition, PartitionId};

@@ -32,6 +32,20 @@ awk -v rate="$rate" 'BEGIN {
   printf "OK: reclaim pass sustained %.0f B/s\n", rate
 }'
 
+# Indexed top-k smoke: always runs (no baseline needed). The bin asserts
+# indexed and scan answers are bit-identical; the gate checks the
+# max-activation list actually beat the column scan. At any scale the list
+# answers from memory while the scan decodes the column, so a speedup at or
+# below 1x means the indexed path silently fell back to scanning.
+echo "== topk_index bench smoke (examples=2000) =="
+MISTIQUE_BENCH_DIR="$smoke" cargo run --release -q -p mistique-bench --bin topk_index -- \
+  --examples 2000 --reps 3
+topk_speedup=$(val "$smoke/BENCH_topk_index.json" bench.topk_index.topk_speedup)
+awk -v s="$topk_speedup" 'BEGIN {
+  if (s + 0 <= 1) { print "FAIL: indexed top-k did not beat the column scan"; exit 1 }
+  printf "OK: indexed top-k %.1fx over the scan\n", s
+}'
+
 if [[ ! -f "$BASELINE" ]]; then
   echo "no committed $BASELINE — skipping perf gate"
   exit 0

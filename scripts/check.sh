@@ -30,6 +30,10 @@ cargo test -q -p mistique-core --test timeline
 cargo test -q -p mistique-core --test telemetry_crash
 cargo test -q -p mistique-core --test obs_coverage
 cargo test -q -p mistique-core --test parallel_read
+cargo test -q -p mistique-core --test index_equivalence
+cargo test -q -p mistique-core --test index_crash
+cargo test -q -p mistique-core --test query_cache
+cargo test -q -p mistique-index
 cargo test -q -p mistique-obs
 cargo test -q -p mistique-store --test lru_model
 cargo test -q -p mistique-store --test compaction

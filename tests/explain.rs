@@ -30,6 +30,9 @@ fn small_blocks() -> MistiqueConfig {
     MistiqueConfig {
         row_block_size: 40,
         storage: StorageStrategy::Dedup,
+        // These tests pin down the *scan* plans; indexed plans have their own
+        // suite below and in tests/index_equivalence.rs.
+        index_top_m: 0,
         ..MistiqueConfig::default()
     }
 }
@@ -110,6 +113,86 @@ fn report_sequence_numbers_are_monotonic() {
         assert_eq!(w[1].seq, w[0].seq + 1);
     }
     assert!(reports.iter().all(|r| r.plan == PlanChoice::Read));
+}
+
+// ---------------------------------------------------------------------------
+// Indexed plans: top-k and threshold queries explain their block pruning.
+// ---------------------------------------------------------------------------
+
+/// Same shape as [`small_blocks`] but with the index left at its default
+/// (enabled) setting, plus a cost model that always prefers reads so the
+/// planner-mirror gate inside the indexed paths is deterministically open.
+fn indexed_system() -> (tempfile::TempDir, Mistique, String) {
+    let (d, mut sys, id) = explain_system(MistiqueConfig {
+        row_block_size: 40,
+        storage: StorageStrategy::Dedup,
+        ..MistiqueConfig::default()
+    });
+    sys.cost_model_mut().read_bandwidth = 1e18;
+    (d, sys, id)
+}
+
+#[test]
+fn indexed_topk_reports_the_indexed_plan() {
+    let (_d, mut sys, id) = indexed_system();
+    let preds = sys.intermediates_of(&id).last().unwrap().clone();
+    let top = sys.topk(&preds, "pred", 5).unwrap();
+    assert_eq!(top.len(), 5);
+    let r = sys.last_report().unwrap().clone();
+    assert_eq!(r.query, "diag.topk");
+    assert_eq!(r.plan, PlanChoice::IndexedRead);
+    let p = r.pruning.expect("indexed plans carry pruning stats");
+    assert!(p.blocks_total > 0);
+    assert_eq!(
+        p.blocks_skipped, p.blocks_total,
+        "a list-served top-k never touches the data partitions"
+    );
+    assert!(p.predicted_s > 0.0);
+    assert!(
+        r.render().contains("index    : skipped"),
+        "render must surface the pruning:\n{}",
+        r.render()
+    );
+    // Repeat top-k stays on the index: it bypasses the query cache entirely.
+    sys.topk(&preds, "pred", 5).unwrap();
+    assert_eq!(sys.last_report().unwrap().plan, PlanChoice::IndexedRead);
+}
+
+#[test]
+fn indexed_threshold_scan_skips_pruned_blocks() {
+    let (_d, mut sys, id) = indexed_system();
+    let preds = sys.intermediates_of(&id).last().unwrap().clone();
+    // A threshold above the global max matches nothing; the zone maps prove
+    // every block irrelevant and the scan reads zero partitions.
+    let max = sys.topk(&preds, "pred", 1).unwrap()[0].1;
+    let rows = sys.select_where_gt(&preds, "pred", max).unwrap();
+    assert!(rows.is_empty());
+    let r = sys.last_report().unwrap().clone();
+    assert_eq!(r.query, "diag.select_where_gt");
+    assert_eq!(r.plan, PlanChoice::IndexedRead);
+    let p = r.pruning.expect("indexed plans carry pruning stats");
+    assert!(p.blocks_total > 0);
+    assert_eq!(p.blocks_skipped, p.blocks_total);
+
+    // Just below the max at least the argmax row matches, and the answer
+    // still arrives through the indexed plan.
+    let lo = max - max.abs().max(1.0) * 1e-9;
+    let rows = sys.select_where_gt(&preds, "pred", lo).unwrap();
+    assert!(!rows.is_empty());
+    let r = sys.last_report().unwrap().clone();
+    assert_eq!(r.plan, PlanChoice::IndexedRead);
+    assert!(r.pruning.unwrap().blocks_skipped < p.blocks_total);
+}
+
+#[test]
+fn disabling_the_index_restores_scan_plans() {
+    let (_d, mut sys, id) = explain_system(small_blocks());
+    let preds = sys.intermediates_of(&id).last().unwrap().clone();
+    sys.cost_model_mut().read_bandwidth = 1e18;
+    sys.topk(&preds, "pred", 5).unwrap();
+    let r = sys.last_report().unwrap();
+    assert_ne!(r.plan, PlanChoice::IndexedRead);
+    assert!(r.pruning.is_none(), "scan plans carry no pruning stats");
 }
 
 // ---------------------------------------------------------------------------

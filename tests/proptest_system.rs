@@ -332,4 +332,111 @@ proptest! {
         prop_assert!(again.threshold.is_none(), "reused threshold is not re-returned");
         prop_assert_eq!(again.frame, batch.frame);
     }
+
+    // Zone maps and max-activation lists over *decoded* values, for every
+    // quantization scheme on the demotion ladder: the pruned block set is a
+    // superset of the blocks containing matches, and the top list
+    // reproduces the scan's exact top-k prefix (bit patterns included)
+    // whenever it serves at all.
+    #[test]
+    fn index_contract_holds_over_every_quantization_scheme(
+        raw in proptest::collection::vec(-100.0f32..100.0, 1..160),
+        scheme_pick in 0..4usize,
+        block in 1..24usize,
+        m in 0..16usize,
+        k in 0..16usize,
+        threshold in -120.0f64..120.0,
+    ) {
+        let scheme = match scheme_pick {
+            0 => ValueScheme::Full,
+            1 => ValueScheme::Lp,
+            2 => ValueScheme::Kbit { bits: 8 },
+            _ => ValueScheme::Threshold { pct: 0.9 },
+        };
+        let examples: Vec<Vec<f32>> = raw.iter().map(|&v| vec![v]).collect();
+        let batch = encode_batch(&examples, 1, scheme, None, None);
+        let col = batch.frame.column("n0").expect("one encoded column");
+        let decoded = decode_column(&col.data, scheme, batch.quantizer.as_deref());
+        prop_assert_eq!(decoded.len(), raw.len());
+
+        let mut b = mistique_index::IndexBuilder::new(m, block);
+        for (i, chunk) in decoded.chunks(block).enumerate() {
+            b.observe_block("n0", i, chunk);
+        }
+        let idx = b.finish("m.i", &scheme.name(), decoded.len(), 1);
+
+        // Threshold pruning over the decoded domain.
+        let (keep, total) = idx.blocks_passing_gt("n0", threshold).expect("column indexed");
+        prop_assert_eq!(total, decoded.len().div_ceil(block));
+        for (row, v) in decoded.iter().enumerate() {
+            if *v > threshold {
+                prop_assert!(
+                    keep.contains(&(row / block)),
+                    "row {} (decoded {}) matches but its block was pruned", row, v
+                );
+            }
+        }
+
+        // Top list vs the scan reference, bit for bit.
+        if let Some(served) = idx.topk("n0", k) {
+            let want = mistique_index::reference_topk(&decoded, k);
+            prop_assert_eq!(served.len(), want.len());
+            for (a, b) in served.iter().zip(&want) {
+                prop_assert_eq!(a.0, b.0);
+                prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+        } else {
+            prop_assert!(k > m && decoded.len() > m, "refusal only when the list cannot prove the prefix");
+        }
+    }
+
+    // NaN / ±inf / constant columns: zone maps must neither fabricate nor
+    // lose matches when a block is all-NaN, all-constant, or spans the
+    // infinities, and the top list must still mirror the scan order.
+    #[test]
+    fn index_specials_and_constant_columns(
+        vals in proptest::collection::vec(
+            prop_oneof![
+                4 => -1e6f64..1e6,
+                1 => Just(f64::NAN),
+                1 => Just(f64::INFINITY),
+                1 => Just(f64::NEG_INFINITY),
+                2 => Just(42.0),
+            ],
+            1..120,
+        ),
+        block in 1..16usize,
+        threshold in prop_oneof![
+            3 => -1e6f64..1e6,
+            1 => Just(f64::NEG_INFINITY),
+            1 => Just(f64::INFINITY),
+            1 => Just(42.0),
+        ],
+    ) {
+        for column in [vals.clone(), vec![42.0f64; vals.len()]] {
+            let mut b = mistique_index::IndexBuilder::new(8, block);
+            for (i, chunk) in column.chunks(block).enumerate() {
+                b.observe_block("c", i, chunk);
+            }
+            let idx = b.finish("m.i", "FULL", column.len(), 1);
+
+            let (keep, _) = idx.blocks_passing_gt("c", threshold).expect("column indexed");
+            for (row, v) in column.iter().enumerate() {
+                // NaN never matches `>`; pruning may only discard blocks
+                // whose non-NaN max cannot clear the threshold.
+                if *v > threshold {
+                    prop_assert!(keep.contains(&(row / block)));
+                }
+            }
+
+            if let Some(served) = idx.topk("c", 8) {
+                let want = mistique_index::reference_topk(&column, 8);
+                prop_assert_eq!(served.len(), want.len());
+                for (a, b) in served.iter().zip(&want) {
+                    prop_assert_eq!(a.0, b.0);
+                    prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+                }
+            }
+        }
+    }
 }

@@ -140,6 +140,56 @@ fn forcing_cached_strategy_is_invalid() {
 }
 
 #[test]
+fn index_version_is_part_of_the_cache_key() {
+    // Warm the cache while an index is live, then drop the index: the next
+    // identical fetch must key differently (index_version 0 vs the build
+    // counter) and miss, so a cached result can never masquerade as
+    // index-served state — and vice versa after a rebuild.
+    let dir = tempfile::tempdir().unwrap();
+    let mut sys = Mistique::open(
+        dir.path(),
+        MistiqueConfig {
+            query_cache_bytes: 16 << 20,
+            ..MistiqueConfig::default()
+        },
+    )
+    .unwrap();
+    let data = Arc::new(ZillowData::generate(300, 1));
+    let id = sys
+        .register_trad(zillow_pipelines().remove(0), data)
+        .unwrap();
+    sys.log_intermediates(&id).unwrap();
+    let preds = sys.intermediates_of(&id).last().unwrap().clone();
+    assert!(sys.index_enabled(), "index is on by default");
+
+    let first = sys.get_intermediate(&preds, Some(&["pred"]), None).unwrap();
+    assert_ne!(first.strategy, FetchStrategy::Cached);
+    assert_eq!(
+        sys.get_intermediate(&preds, Some(&["pred"]), None)
+            .unwrap()
+            .strategy,
+        FetchStrategy::Cached
+    );
+
+    sys.drop_index(&preds);
+    let after_drop = sys.get_intermediate(&preds, Some(&["pred"]), None).unwrap();
+    assert_ne!(
+        after_drop.strategy,
+        FetchStrategy::Cached,
+        "dropping the index must move the cache key"
+    );
+    assert_eq!(first.frame, after_drop.frame, "answers never change");
+
+    // The no-index key now repeats and hits again.
+    assert_eq!(
+        sys.get_intermediate(&preds, Some(&["pred"]), None)
+            .unwrap()
+            .strategy,
+        FetchStrategy::Cached
+    );
+}
+
+#[test]
 fn adaptive_materialization_invalidates_cache() {
     let dir = tempfile::tempdir().unwrap();
     let mut sys = Mistique::open(
