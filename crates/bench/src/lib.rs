@@ -200,6 +200,14 @@ pub fn write_obs_snapshot_to(
             .map(|n| n.get() as u64)
             .unwrap_or(1),
     );
+    // And the engine configuration: systems stamp `config.fingerprint` at
+    // open; substrate-only benches that never open one ran under default
+    // knobs. bench_gate.sh refuses to compare snapshots whose fingerprints
+    // differ.
+    if !obs.snapshot().gauges.contains_key("config.fingerprint") {
+        obs.gauge("config.fingerprint")
+            .set_u64(MistiqueConfig::default().fingerprint_hash());
+    }
     let path = dir.join(format!("BENCH_{name}.json"));
     match std::fs::write(&path, obs.snapshot().to_json_string()) {
         Ok(()) => println!("\nwrote perf snapshot to {}", path.display()),
@@ -248,6 +256,10 @@ mod tests {
         assert!(
             body.contains("\"host.cpus\":"),
             "every snapshot carries the host fingerprint"
+        );
+        assert!(
+            body.contains("\"config.fingerprint\":"),
+            "every snapshot carries the config fingerprint"
         );
     }
 

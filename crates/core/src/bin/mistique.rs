@@ -11,6 +11,8 @@
 //! mistique explain <dir> [--last <n>] [--perfetto <file>] [--flame <file>]
 //! mistique reclaim <dir> [budget_bytes]      # demote/purge cold intermediates, compact
 //! mistique timeline <dir> [--json] [--metric <name>] [--perfetto <file>]
+//! mistique replay <dir> [--into <dir2>] [--differential] [--bench <file>]
+//! mistique top   <dir> [--once] [--interval <ms>]
 //! ```
 //!
 //! `reclaim` runs one storage-reclamation pass: while the materialized bytes
@@ -28,6 +30,23 @@
 //! writes a Chrome-trace counter track loadable at `ui.perfetto.dev`.
 //! Unlike the other commands it needs no manifest — it reads the segments
 //! directly, so it also works on a store that never persisted.
+//!
+//! `replay` re-executes the workload captured in the audit journal under
+//! `<dir>/audit/` (see the `audit` module): by default into a throwaway
+//! fresh store, with `--into` onto an existing directory (registrations of
+//! known models re-attach instead of erroring). `--differential` replays
+//! the journal at `read_parallelism` 1, 2, 4 and 0 (= all CPUs) and demands
+//! bit-identical answer transcripts and identical plan choices across every
+//! leg, exiting nonzero on any divergence. `--bench` additionally measures
+//! the capture overhead (replay wall-clock with auditing on vs off) and
+//! writes a flat `BENCH_replay.json` consumed by `scripts/bench_gate.sh`.
+//!
+//! `top` renders a live workload dashboard — per-operation rates and
+//! latency quantiles, plan mix, cache/index effectiveness, SLO classes,
+//! budget headroom and journal health — assembled entirely from the on-disk
+//! audit journal and telemetry timeline. `--once` prints a single frame
+//! (works on a closed store with no live engine); otherwise the screen
+//! refreshes every `--interval` ms (default 1000) until interrupted.
 //!
 //! `stats --prom` writes the metric snapshot in Prometheus text exposition
 //! format 0.0.4 and validates the rendering before writing; a validation
@@ -52,7 +71,7 @@ use mistique_pipeline::ZillowData;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mistique <demo|info|show|head|topk|hist|stats|explain|reclaim|timeline> <dir> [args...]\n\
+        "usage: mistique <demo|info|show|head|topk|hist|stats|explain|reclaim|timeline|replay|top> <dir> [args...]\n\
          run `mistique demo /tmp/mq && mistique explain /tmp/mq` to try it"
     );
     ExitCode::FAILURE
@@ -81,18 +100,221 @@ fn open(dir: &str) -> Result<Mistique, Box<dyn std::error::Error>> {
     Ok(Mistique::reopen(dir, MistiqueConfig::default())?)
 }
 
+/// `mistique replay <dir> [--into <dir2>] [--differential] [--bench <file>]`.
+fn run_replay(dir: &str, rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use mistique_core::replay::{differential_replay, replay_into, ReplayOptions};
+
+    let records = Mistique::load_audit(dir)?;
+    if records.is_empty() {
+        println!("no audit journal under {dir}/audit — nothing to replay (audit_budget_bytes = 0, or no workload ran)");
+        return Ok(());
+    }
+    println!("loaded {} journal records from {dir}/audit", records.len());
+
+    let differential = rest.iter().any(|a| a == "--differential");
+    let bench_path = match rest.iter().position(|a| a == "--bench") {
+        Some(pos) => Some(
+            rest.get(pos + 1)
+                .ok_or("--bench needs a file path")?
+                .clone(),
+        ),
+        None => None,
+    };
+    let into = match rest.iter().position(|a| a == "--into") {
+        Some(pos) => Some(rest.get(pos + 1).ok_or("--into needs a directory")?.clone()),
+        None => None,
+    };
+    let config = MistiqueConfig::default();
+    let scratch = std::env::temp_dir().join(format!("mistique-replay-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch)?;
+    // Best-effort scratch cleanup on every exit path.
+    struct Scratch(std::path::PathBuf);
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+    let _scratch_guard = Scratch(scratch.clone());
+
+    // The basic replay leg: into the target directory if given (reopening an
+    // existing manifest so registrations re-attach), else a fresh scratch
+    // store.
+    let mut sys = match &into {
+        Some(target) => {
+            let manifest = std::path::Path::new(target).join("mistique_manifest.json");
+            if manifest.exists() {
+                Mistique::reopen(target, config.clone())?
+            } else {
+                std::fs::create_dir_all(target)?;
+                Mistique::open(target, config.clone())?
+            }
+        }
+        None => Mistique::open(scratch.join("replay"), config.clone())?,
+    };
+    let t0 = std::time::Instant::now();
+    let outcome = replay_into(&mut sys, &records, &ReplayOptions::default())?;
+    let replay_s = t0.elapsed().as_secs_f64();
+    println!(
+        "replayed {} ops in {replay_s:.2}s ({} failed, {} skipped) — transcript digest {:016x}",
+        outcome.executed,
+        outcome.failed,
+        outcome.skipped.len(),
+        outcome.transcript_digest()
+    );
+    for (seq, reason) in &outcome.skipped {
+        println!("  skipped seq {seq}: {reason}");
+    }
+    if let Some(target) = &into {
+        sys.persist()?;
+        println!("persisted replayed store at {target}");
+    }
+    drop(sys);
+
+    // Differential legs (also required for the bench report's verdict).
+    let report = if differential || bench_path.is_some() {
+        let workers = [1usize, 2, 4, 0];
+        let report = differential_replay(&records, &scratch, &config, &workers)?;
+        for run in &report.runs {
+            println!(
+                "  workers={}: {} ops, {} failed, transcript {:016x}",
+                run.workers,
+                run.outcome.executed,
+                run.outcome.failed,
+                run.outcome.transcript_digest()
+            );
+        }
+        let (matched, compared) = report.plan_agreement;
+        println!(
+            "differential: {} — plan agreement with original capture {matched}/{compared}",
+            if report.consistent() {
+                "CONSISTENT (bit-identical answers, identical plans at every worker count)"
+            } else {
+                "DIVERGED"
+            }
+        );
+        for m in &report.mismatches {
+            eprintln!("  mismatch: {m}");
+        }
+        Some(report)
+    } else {
+        None
+    };
+
+    // Capture-overhead measurement + BENCH_replay.json.
+    if let Some(path) = &bench_path {
+        let report = report.as_ref().expect("bench implies differential");
+        let mut on_s = f64::INFINITY;
+        let mut off_s = f64::INFINITY;
+        for i in 0..2 {
+            let mut cfg_on = config.clone();
+            if cfg_on.audit_budget_bytes == 0 {
+                cfg_on.audit_budget_bytes = 1 << 20;
+            }
+            let mut sys = Mistique::open(scratch.join(format!("bench_on_{i}")), cfg_on)?;
+            let t = std::time::Instant::now();
+            replay_into(&mut sys, &records, &ReplayOptions::default())?;
+            on_s = on_s.min(t.elapsed().as_secs_f64());
+
+            let mut cfg_off = config.clone();
+            cfg_off.audit_budget_bytes = 0;
+            let mut sys = Mistique::open(scratch.join(format!("bench_off_{i}")), cfg_off)?;
+            let t = std::time::Instant::now();
+            replay_into(&mut sys, &records, &ReplayOptions::default())?;
+            off_s = off_s.min(t.elapsed().as_secs_f64());
+        }
+        let overhead_pct = if off_s > 0.0 {
+            (on_s - off_s) / off_s * 100.0
+        } else {
+            0.0
+        };
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let (matched, compared) = report.plan_agreement;
+        let json = format!(
+            "{{\"bench\":\"replay\",\
+             \"config_fingerprint\":\"{:08x}\",\
+             \"config_detail\":\"{}\",\
+             \"host_cpus\":{cpus},\
+             \"records\":{},\
+             \"executed\":{},\
+             \"failed\":{},\
+             \"skipped\":{},\
+             \"transcript_digest\":\"{:016x}\",\
+             \"differential_workers\":\"1;2;4;0\",\
+             \"differential_consistent\":{},\
+             \"plan_agreement_matched\":{matched},\
+             \"plan_agreement_compared\":{compared},\
+             \"audit_on_s\":{on_s:.6},\
+             \"audit_off_s\":{off_s:.6},\
+             \"capture_overhead_pct\":{overhead_pct:.3}}}",
+            config.fingerprint_hash(),
+            config.fingerprint(),
+            records.len(),
+            outcome.executed,
+            outcome.failed,
+            outcome.skipped.len(),
+            outcome.transcript_digest(),
+            if report.consistent() { 1 } else { 0 },
+        );
+        std::fs::write(path, &json)?;
+        println!(
+            "capture overhead: {overhead_pct:.2}% (audit on {on_s:.3}s vs off {off_s:.3}s) — wrote {path}"
+        );
+    }
+
+    if let Some(report) = &report {
+        if !report.consistent() {
+            return Err("differential replay diverged".into());
+        }
+    }
+    Ok(())
+}
+
 fn run(cmd: &str, dir: &str, rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     match cmd {
         "demo" => {
             std::fs::create_dir_all(dir)?;
             let mut sys = Mistique::open(dir, MistiqueConfig::default())?;
             let data = Arc::new(ZillowData::generate(2_000, 42));
+            let mut trad_ids = Vec::new();
             for p in zillow_pipelines().into_iter().take(2) {
                 let id = sys.register_trad(p, Arc::clone(&data))?;
                 sys.log_intermediates(&id)?;
                 println!("logged {id}");
+                trad_ids.push(id);
+            }
+            // A small DNN checkpoint, so the captured workload (and thus
+            // `mistique replay`) mixes TRAD and DNN intermediates.
+            let cifar = Arc::new(mistique_nn::CifarLike::generate(48, 4, 7));
+            let labels = cifar.labels.clone();
+            let dnn_id =
+                sys.register_dnn(Arc::new(mistique_nn::simple_cnn(16)), 9, 1, cifar, 16)?;
+            sys.log_intermediates(&dnn_id)?;
+            println!("logged {dnn_id}");
+            // A handful of diagnostics, so the journal carries queries with
+            // plan choices, not just registrations and logging.
+            if let Some(interm) = sys.intermediates_of(&trad_ids[0]).first().cloned() {
+                if let Some(col) = sys
+                    .metadata()
+                    .intermediate(&interm)
+                    .and_then(|m| m.columns.first().cloned())
+                {
+                    sys.topk(&interm, &col, 10)?;
+                    sys.pointq(&interm, &col, 3)?;
+                    sys.col_dist(&interm, &col, 8)?;
+                }
+            }
+            let dnn_interms = sys.intermediates_of(&dnn_id);
+            if let Some(softmax) = dnn_interms.last().cloned() {
+                sys.argmax_predictions(&softmax)?;
+                sys.accuracy(&softmax, &labels)?;
+            }
+            if let Some(first) = dnn_interms.first().cloned() {
+                sys.knn(&first, 0, 5)?;
             }
             sys.persist()?;
+            sys.audit_flush();
             println!("persisted demo store at {dir}");
         }
         "info" => {
@@ -339,6 +561,29 @@ fn run(cmd: &str, dir: &str, rest: &[String]) -> Result<(), Box<dyn std::error::
                 let path = rest.get(pos + 1).ok_or("--perfetto needs a file path")?;
                 std::fs::write(path, mistique_core::counter_trace_json(&tl))?;
                 println!("wrote counter-track JSON to {path} (open at ui.perfetto.dev)");
+            }
+        }
+        "replay" => return run_replay(dir, rest),
+        "top" => {
+            let once = rest.iter().any(|a| a == "--once");
+            let interval_ms: u64 = match rest.iter().position(|a| a == "--interval") {
+                Some(pos) => rest
+                    .get(pos + 1)
+                    .ok_or("--interval needs milliseconds")?
+                    .parse()?,
+                None => 1000,
+            };
+            if once {
+                print!("{}", mistique_core::render_top(dir)?);
+            } else {
+                loop {
+                    let frame = mistique_core::render_top(dir)?;
+                    // Clear screen + home, then one dashboard frame.
+                    print!("\x1b[2J\x1b[H{frame}");
+                    use std::io::Write as _;
+                    std::io::stdout().flush()?;
+                    std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+                }
             }
         }
         _ => {

@@ -43,8 +43,15 @@ impl Mistique {
         column: &str,
         row: usize,
     ) -> Result<f64, MistiqueError> {
-        self.with_query_label("diag.pointq", |sys| {
-            sys.pointq_inner(intermediate, column, row)
+        let args = vec![
+            ("interm", intermediate.to_string()),
+            ("col", column.to_string()),
+            ("row", row.to_string()),
+        ];
+        self.audited("diag.pointq", args, |sys| {
+            sys.with_query_label("diag.pointq", |sys| {
+                sys.pointq_inner(intermediate, column, row)
+            })
         })
     }
 
@@ -71,7 +78,14 @@ impl Mistique {
         column: &str,
         k: usize,
     ) -> Result<Vec<(usize, f64)>, MistiqueError> {
-        self.with_query_label("diag.topk", |sys| sys.topk_inner(intermediate, column, k))
+        let args = vec![
+            ("interm", intermediate.to_string()),
+            ("col", column.to_string()),
+            ("k", k.to_string()),
+        ];
+        self.audited("diag.topk", args, |sys| {
+            sys.with_query_label("diag.topk", |sys| sys.topk_inner(intermediate, column, k))
+        })
     }
 
     fn topk_inner(
@@ -101,8 +115,15 @@ impl Mistique {
         column: &str,
         n_buckets: usize,
     ) -> Result<Vec<HistBucket>, MistiqueError> {
-        self.with_query_label("diag.col_dist", |sys| {
-            sys.col_dist_inner(intermediate, column, n_buckets)
+        let args = vec![
+            ("interm", intermediate.to_string()),
+            ("col", column.to_string()),
+            ("buckets", n_buckets.to_string()),
+        ];
+        self.audited("diag.col_dist", args, |sys| {
+            sys.with_query_label("diag.col_dist", |sys| {
+                sys.col_dist_inner(intermediate, column, n_buckets)
+            })
         })
     }
 
@@ -153,14 +174,23 @@ impl Mistique {
         column_b: &str,
         tolerance: f64,
     ) -> Result<Vec<usize>, MistiqueError> {
-        self.with_query_label("diag.col_diff", |sys| {
-            sys.col_diff_inner(
-                intermediate_a,
-                column_a,
-                intermediate_b,
-                column_b,
-                tolerance,
-            )
+        let args = vec![
+            ("interm_a", intermediate_a.to_string()),
+            ("col_a", column_a.to_string()),
+            ("interm_b", intermediate_b.to_string()),
+            ("col_b", column_b.to_string()),
+            ("tol", tolerance.to_string()),
+        ];
+        self.audited("diag.col_diff", args, |sys| {
+            sys.with_query_label("diag.col_diff", |sys| {
+                sys.col_diff_inner(
+                    intermediate_a,
+                    column_a,
+                    intermediate_b,
+                    column_b,
+                    tolerance,
+                )
+            })
         })
     }
 
@@ -190,8 +220,15 @@ impl Mistique {
         row_a: usize,
         row_b: usize,
     ) -> Result<Vec<(String, f64)>, MistiqueError> {
-        self.with_query_label("diag.row_diff", |sys| {
-            sys.row_diff_inner(intermediate, row_a, row_b)
+        let args = vec![
+            ("interm", intermediate.to_string()),
+            ("row_a", row_a.to_string()),
+            ("row_b", row_b.to_string()),
+        ];
+        self.audited("diag.row_diff", args, |sys| {
+            sys.with_query_label("diag.row_diff", |sys| {
+                sys.row_diff_inner(intermediate, row_a, row_b)
+            })
         })
     }
 
@@ -225,8 +262,15 @@ impl Mistique {
         groups: &[u8],
         n_groups: usize,
     ) -> Result<Matrix, MistiqueError> {
-        self.with_query_label("diag.vis", |sys| {
-            sys.vis_inner(intermediate, groups, n_groups)
+        let args = vec![
+            ("interm", intermediate.to_string()),
+            ("groups", crate::audit::csv_u8(groups)),
+            ("n_groups", n_groups.to_string()),
+        ];
+        self.audited("diag.vis", args, |sys| {
+            sys.with_query_label("diag.vis", |sys| {
+                sys.vis_inner(intermediate, groups, n_groups)
+            })
         })
     }
 
@@ -271,7 +315,14 @@ impl Mistique {
         row: usize,
         k: usize,
     ) -> Result<Vec<(usize, f64)>, MistiqueError> {
-        self.with_query_label("diag.knn", |sys| sys.knn_inner(intermediate, row, k))
+        let args = vec![
+            ("interm", intermediate.to_string()),
+            ("row", row.to_string()),
+            ("k", k.to_string()),
+        ];
+        self.audited("diag.knn", args, |sys| {
+            sys.with_query_label("diag.knn", |sys| sys.knn_inner(intermediate, row, k))
+        })
     }
 
     fn knn_inner(
@@ -306,8 +357,15 @@ impl Mistique {
         intermediate_b: &str,
         variance_frac: f64,
     ) -> Result<SvccaResult, MistiqueError> {
-        self.with_query_label("diag.svcca", |sys| {
-            sys.svcca_inner(intermediate_a, intermediate_b, variance_frac)
+        let args = vec![
+            ("interm_a", intermediate_a.to_string()),
+            ("interm_b", intermediate_b.to_string()),
+            ("var_frac", variance_frac.to_string()),
+        ];
+        self.audited("diag.svcca", args, |sys| {
+            sys.with_query_label("diag.svcca", |sys| {
+                sys.svcca_inner(intermediate_a, intermediate_b, variance_frac)
+            })
         })
     }
 
@@ -336,8 +394,25 @@ impl Mistique {
         concept_masks: &[Vec<bool>],
         alpha: f64,
     ) -> Result<f64, MistiqueError> {
-        self.with_query_label("diag.netdissect", |sys| {
-            sys.netdissect_inner(intermediate, unit, concept_masks, alpha)
+        // Concept masks are pixel-level inputs too large to journal; record
+        // a digest so replay can detect (and report) the unreplayable call.
+        let mut digest = 0u64;
+        for mask in concept_masks {
+            for &b in mask {
+                digest = crate::audit::fnv1a(digest, &[b as u8]);
+            }
+        }
+        let args = vec![
+            ("interm", intermediate.to_string()),
+            ("unit", unit.to_string()),
+            ("alpha", alpha.to_string()),
+            ("masks_n", concept_masks.len().to_string()),
+            ("masks_digest", format!("{digest:016x}")),
+        ];
+        self.audited("diag.netdissect", args, |sys| {
+            sys.with_query_label("diag.netdissect", |sys| {
+                sys.netdissect_inner(intermediate, unit, concept_masks, alpha)
+            })
         })
     }
 
@@ -415,8 +490,11 @@ impl Mistique {
     /// Per-row argmax over an intermediate's columns — class predictions
     /// from a softmax/logit layer.
     pub fn argmax_predictions(&mut self, intermediate: &str) -> Result<Vec<usize>, MistiqueError> {
-        self.with_query_label("diag.argmax_predictions", |sys| {
-            sys.argmax_predictions_inner(intermediate)
+        let args = vec![("interm", intermediate.to_string())];
+        self.audited("diag.argmax_predictions", args, |sys| {
+            sys.with_query_label("diag.argmax_predictions", |sys| {
+                sys.argmax_predictions_inner(intermediate)
+            })
         })
     }
 
@@ -452,8 +530,15 @@ impl Mistique {
         labels: &[u8],
         n_classes: usize,
     ) -> Result<Vec<Vec<usize>>, MistiqueError> {
-        self.with_query_label("diag.confusion_matrix", |sys| {
-            sys.confusion_matrix_inner(intermediate, labels, n_classes)
+        let args = vec![
+            ("interm", intermediate.to_string()),
+            ("labels", crate::audit::csv_u8(labels)),
+            ("n_classes", n_classes.to_string()),
+        ];
+        self.audited("diag.confusion_matrix", args, |sys| {
+            sys.with_query_label("diag.confusion_matrix", |sys| {
+                sys.confusion_matrix_inner(intermediate, labels, n_classes)
+            })
         })
     }
 
@@ -479,8 +564,14 @@ impl Mistique {
 
     /// Classification accuracy against labels (argmax of the intermediate).
     pub fn accuracy(&mut self, intermediate: &str, labels: &[u8]) -> Result<f64, MistiqueError> {
-        self.with_query_label("diag.accuracy", |sys| {
-            sys.accuracy_inner(intermediate, labels)
+        let args = vec![
+            ("interm", intermediate.to_string()),
+            ("labels", crate::audit::csv_u8(labels)),
+        ];
+        self.audited("diag.accuracy", args, |sys| {
+            sys.with_query_label("diag.accuracy", |sys| {
+                sys.accuracy_inner(intermediate, labels)
+            })
         })
     }
 
@@ -505,8 +596,15 @@ impl Mistique {
         column: &str,
         threshold: f64,
     ) -> Result<Vec<usize>, MistiqueError> {
-        self.with_query_label("diag.select_where_gt", |sys| {
-            sys.select_where_gt_inner(intermediate, column, threshold)
+        let args = vec![
+            ("interm", intermediate.to_string()),
+            ("col", column.to_string()),
+            ("threshold", threshold.to_string()),
+        ];
+        self.audited("diag.select_where_gt", args, |sys| {
+            sys.with_query_label("diag.select_where_gt", |sys| {
+                sys.select_where_gt_inner(intermediate, column, threshold)
+            })
         })
     }
 
@@ -540,8 +638,11 @@ impl Mistique {
         intermediate: &str,
         k: usize,
     ) -> Result<(Matrix, f64), MistiqueError> {
-        self.with_query_label("diag.pca_projection", |sys| {
-            sys.pca_projection_inner(intermediate, k)
+        let args = vec![("interm", intermediate.to_string()), ("k", k.to_string())];
+        self.audited("diag.pca_projection", args, |sys| {
+            sys.with_query_label("diag.pca_projection", |sys| {
+                sys.pca_projection_inner(intermediate, k)
+            })
         })
     }
 
@@ -573,8 +674,16 @@ impl Mistique {
         groups: &[u8],
         n_groups: usize,
     ) -> Result<Vec<(usize, f64, usize)>, MistiqueError> {
-        self.with_query_label("diag.group_metric", |sys| {
-            sys.group_metric_inner(intermediate, column, groups, n_groups)
+        let args = vec![
+            ("interm", intermediate.to_string()),
+            ("col", column.to_string()),
+            ("groups", crate::audit::csv_u8(groups)),
+            ("n_groups", n_groups.to_string()),
+        ];
+        self.audited("diag.group_metric", args, |sys| {
+            sys.with_query_label("diag.group_metric", |sys| {
+                sys.group_metric_inner(intermediate, column, groups, n_groups)
+            })
         })
     }
 

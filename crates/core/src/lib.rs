@@ -47,8 +47,10 @@
 //! | Adaptive materialization (Sec 4.3) | [`Mistique::get_intermediate`] + γ |
 //! | Diagnostic queries (Table 1/5) | [`diagnostics`] |
 
+pub mod audit;
 pub mod capture;
 pub mod cost;
+pub mod dash;
 pub mod diagnostics;
 pub mod error;
 pub mod executor;
@@ -58,9 +60,13 @@ pub mod metadata;
 pub mod persist;
 pub mod qcache;
 pub mod reader;
+pub mod replay;
 pub mod report;
 pub mod system;
 pub mod telemetry;
+
+pub use audit::{SLO_BURN_FACTOR, SLO_MIN_SAMPLES};
+pub use dash::{render_top, top_view, TopView};
 
 pub use capture::{CaptureScheme, ValueScheme};
 pub use cost::{CostModel, DriftMonitor};
@@ -73,13 +79,19 @@ pub use manager::{next_demotion, COMPACT_LIVE_RATIO};
 pub use metadata::{IntermediateMeta, MetadataDb, ModelKind};
 pub use mistique_index::{IntermediateIndex, DEFAULT_TOP_M};
 pub use mistique_obs::{
-    counter_trace_json, validate_prometheus, Counter, EngineEvent, Gauge, HistPoint, Histogram,
-    Obs, RecorderStats, Snapshot, Span, SpanContext, SpanRecord, Timeline, TimelinePoint,
+    counter_trace_json, validate_prometheus, AuditLog, AuditRecord, AuditStats, Counter,
+    EngineEvent, Gauge, HistPoint, Histogram, Obs, RecorderStats, Snapshot, Span, SpanContext,
+    SpanRecord, Timeline, TimelinePoint,
 };
 pub use mistique_store::{
-    CompactionReport, IndexDir, RetractOutcome, TelemetryDir, INDEX_SUBDIR, TELEMETRY_SUBDIR,
+    AuditDir, CompactionReport, IndexDir, RetractOutcome, TelemetryDir, AUDIT_SUBDIR, INDEX_SUBDIR,
+    TELEMETRY_SUBDIR,
 };
 pub use reader::{FetchResult, FetchStrategy};
+pub use replay::{
+    decode_arch, differential_replay, encode_arch, replay_into, DifferentialReport, ReplayOptions,
+    ReplayOutcome,
+};
 pub use report::{DemotionRecord, PlanChoice, QueryReport, ReclaimReport, ReportRing, SeqRing};
 pub use system::{Mistique, MistiqueConfig, StorageStrategy};
 pub use telemetry::{INTERVAL_CAPTURE, QCACHE_STORM_EVICTIONS};

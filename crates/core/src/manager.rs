@@ -89,6 +89,11 @@ impl Mistique {
     /// <dir> [budget]` entry point). See the module docs for the ladder and
     /// the crash-safety discipline.
     pub fn reclaim_to(&mut self, budget_bytes: u64) -> Result<ReclaimReport, MistiqueError> {
+        let args = vec![("budget", budget_bytes.to_string())];
+        self.audited("reclaim", args, |sys| sys.reclaim_to_impl(budget_bytes))
+    }
+
+    fn reclaim_to_impl(&mut self, budget_bytes: u64) -> Result<ReclaimReport, MistiqueError> {
         let sp = mistique_obs::span!(self.obs, "reclaim", budget = budget_bytes);
         let trace_id = sp.trace_id();
         let used_before = self.storage_budget_used();

@@ -25,6 +25,18 @@ pub enum FetchStrategy {
     Cached,
 }
 
+impl FetchStrategy {
+    /// Stable lower-case name, used by the audit journal's argument
+    /// fingerprint (parsed back by `mistique replay`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FetchStrategy::Read => "read",
+            FetchStrategy::Rerun => "rerun",
+            FetchStrategy::Cached => "cached",
+        }
+    }
+}
+
 /// The result of fetching an intermediate.
 #[derive(Debug)]
 pub struct FetchResult {
@@ -45,6 +57,18 @@ impl Mistique {
     /// letting the cost model pick read vs re-run — the paper's
     /// `get_intermediates` API.
     pub fn get_intermediate(
+        &mut self,
+        intermediate_id: &str,
+        columns: Option<&[&str]>,
+        n_ex: Option<usize>,
+    ) -> Result<FetchResult, MistiqueError> {
+        let args = crate::audit::fetch_args(intermediate_id, columns, n_ex);
+        self.audited("fetch.get", args, |sys| {
+            sys.get_intermediate_impl(intermediate_id, columns, n_ex)
+        })
+    }
+
+    fn get_intermediate_impl(
         &mut self,
         intermediate_id: &str,
         columns: Option<&[&str]>,
@@ -131,6 +155,20 @@ impl Mistique {
     /// Fetch with an explicit strategy (benchmarks use this to measure both
     /// sides of the trade-off).
     pub fn fetch_with_strategy(
+        &mut self,
+        intermediate_id: &str,
+        columns: Option<&[&str]>,
+        n_ex: Option<usize>,
+        strategy: FetchStrategy,
+    ) -> Result<FetchResult, MistiqueError> {
+        let mut args = crate::audit::fetch_args(intermediate_id, columns, n_ex);
+        args.push(("strategy", strategy.name().to_string()));
+        self.audited("fetch.strategy", args, |sys| {
+            sys.fetch_with_strategy_impl(intermediate_id, columns, n_ex, strategy)
+        })
+    }
+
+    fn fetch_with_strategy_impl(
         &mut self,
         intermediate_id: &str,
         columns: Option<&[&str]>,
@@ -281,6 +319,19 @@ impl Mistique {
     /// in the order requested. Falls back to re-run when the intermediate is
     /// not materialized.
     pub fn get_rows(
+        &mut self,
+        intermediate_id: &str,
+        rows: &[usize],
+        columns: Option<&[&str]>,
+    ) -> Result<FetchResult, MistiqueError> {
+        let mut args = crate::audit::fetch_args(intermediate_id, columns, None);
+        args.push(("rows", crate::audit::csv_usize(rows)));
+        self.audited("fetch.rows", args, |sys| {
+            sys.get_rows_impl(intermediate_id, rows, columns)
+        })
+    }
+
+    fn get_rows_impl(
         &mut self,
         intermediate_id: &str,
         rows: &[usize],

@@ -104,6 +104,16 @@ pub struct MistiqueConfig {
     /// `storage_budget_bytes` but are the first thing a reclaim pass sheds.
     /// Default: [`mistique_index::DEFAULT_TOP_M`].
     pub index_top_m: usize,
+    /// Byte budget of the workload audit journal (the capture/replay segment
+    /// ring under `<dir>/audit/`; see [`crate::audit`]). Every engine entry
+    /// point — logging, every diagnostic, fetches, reclaim — appends one
+    /// structured, replayable record; `mistique replay <dir>` re-executes
+    /// the captured workload. Retention drops the oldest segments first, the
+    /// bytes are **not** counted against `storage_budget_bytes`, and all
+    /// journal I/O is best-effort (a write failure counts
+    /// `audit.write_errors`, never fails the data operation). `0` disables
+    /// capture entirely. Default: 1 MiB.
+    pub audit_budget_bytes: u64,
 }
 
 impl Default for MistiqueConfig {
@@ -122,7 +132,44 @@ impl Default for MistiqueConfig {
             storage_budget_bytes: 0,
             telemetry_budget_bytes: 1 << 20,
             index_top_m: mistique_index::DEFAULT_TOP_M,
+            audit_budget_bytes: 1 << 20,
         }
+    }
+}
+
+impl MistiqueConfig {
+    /// Compact, human-readable key=value fingerprint over every knob that
+    /// shapes measured behaviour. Two benchmark runs are comparable only if
+    /// their fingerprints match — `scripts/bench_gate.sh` refuses to gate a
+    /// run against a baseline whose fingerprint differs.
+    pub fn fingerprint(&self) -> String {
+        let ds = &self.datastore;
+        format!(
+            "rb={} storage={} capture={} policy={} mem={} part={} minhash={} bands={} bin={} rcache={} qcache={} rpar={} minrb={} budget={} topm={}",
+            self.row_block_size,
+            format!("{:?}", self.storage).replace(' ', ""),
+            self.dnn_capture.name(),
+            format!("{:?}", ds.policy).replace(' ', ""),
+            ds.mem_capacity,
+            ds.partition_target_bytes,
+            ds.minhash_hashes,
+            ds.lsh_bands,
+            ds.discretize_bin,
+            ds.read_cache,
+            self.query_cache_bytes,
+            self.read_parallelism,
+            self.min_read_bytes_per_worker,
+            self.storage_budget_bytes,
+            self.index_top_m,
+        )
+    }
+
+    /// FNV-1a hash of [`MistiqueConfig::fingerprint`], truncated to 32 bits
+    /// so it survives a round trip through an `f64` metric gauge exactly.
+    /// Stamped into every metric snapshot as the `config.fingerprint` gauge,
+    /// so every `BENCH_*.json` carries the configuration it measured.
+    pub fn fingerprint_hash(&self) -> u64 {
+        crate::audit::fnv1a(0, self.fingerprint().as_bytes()) & 0xFFFF_FFFF
     }
 }
 
@@ -164,6 +211,9 @@ pub struct Mistique {
     /// Secondary indexes (zone maps + max-activation lists), when enabled
     /// by `index_top_m`. See [`crate::index_state`].
     pub(crate) index: Option<crate::index_state::IndexState>,
+    /// Workload audit journal (capture/replay), when enabled by
+    /// `audit_budget_bytes`. See [`crate::audit`].
+    pub(crate) audit: Option<crate::audit::AuditState>,
 }
 
 impl Mistique {
@@ -212,6 +262,11 @@ impl Mistique {
         let drift = crate::cost::DriftMonitor::new(0.2, config.drift_tolerance);
         let telemetry = crate::telemetry::TelemetryState::create(&config, &backend, dir.as_ref());
         let index = crate::index_state::IndexState::create(&config, &backend, dir.as_ref(), &obs);
+        let audit = crate::audit::AuditState::create(&config, &backend, dir.as_ref());
+        // Every snapshot (and thus every BENCH_*.json) carries the config it
+        // was measured under; bench_gate.sh refuses cross-config comparisons.
+        obs.gauge("config.fingerprint")
+            .set_u64(config.fingerprint_hash());
         Ok(Mistique {
             dir: dir.as_ref().to_path_buf(),
             config,
@@ -231,6 +286,7 @@ impl Mistique {
             query_label: None,
             telemetry,
             index,
+            audit,
         })
     }
 
@@ -270,6 +326,11 @@ impl Mistique {
     }
 
     fn register(&mut self, source: ModelSource) -> Result<String, MistiqueError> {
+        let args = crate::audit::register_args(&source);
+        self.audited("register", args, move |sys| sys.register_impl(source))
+    }
+
+    fn register_impl(&mut self, source: ModelSource) -> Result<String, MistiqueError> {
         let id = source.id();
         if self.sources.contains_key(&id) {
             return Err(MistiqueError::DuplicateModel(id));
@@ -420,6 +481,7 @@ impl Mistique {
     /// the flight recorder's query-path anomaly watch (plan flips, drift
     /// rising edges, query-cache eviction storms).
     pub(crate) fn push_report(&mut self, report: crate::report::QueryReport) {
+        self.audit_observe_report(&report);
         self.telemetry_observe_report(&report);
         self.reports.push(report);
     }
@@ -472,6 +534,11 @@ impl Mistique {
     /// configured storage strategy (the paper's `log_intermediates` API and
     /// Alg. 4).
     pub fn log_intermediates(&mut self, model_id: &str) -> Result<(), MistiqueError> {
+        let args = vec![("model", model_id.to_string())];
+        self.audited("log", args, |sys| sys.log_intermediates_impl(model_id))
+    }
+
+    fn log_intermediates_impl(&mut self, model_id: &str) -> Result<(), MistiqueError> {
         let source = self
             .sources
             .get(model_id)
@@ -503,6 +570,13 @@ impl Mistique {
     /// intermediates serially (the DataStore is single-writer). DNN ids fall
     /// back to sequential logging.
     pub fn log_intermediates_parallel(&mut self, model_ids: &[&str]) -> Result<(), MistiqueError> {
+        let args = vec![("models", model_ids.join(","))];
+        self.audited("log_parallel", args, |sys| {
+            sys.log_intermediates_parallel_impl(model_ids)
+        })
+    }
+
+    fn log_intermediates_parallel_impl(&mut self, model_ids: &[&str]) -> Result<(), MistiqueError> {
         let _sp = mistique_obs::span!(self.obs, "log_intermediates.parallel", n = model_ids.len());
         // Partition into parallelizable TRAD runs and sequential DNN runs.
         let mut trad: Vec<(String, Pipeline, Arc<ZillowData>)> = Vec::new();

@@ -20,6 +20,10 @@ pub struct CifarLike {
     pub labels: Vec<u8>,
     /// Number of classes.
     pub n_classes: usize,
+    /// The `(n, n_classes, seed)` this dataset was generated from, when it
+    /// came from [`CifarLike::generate`] — the workload audit journal
+    /// records it so `mistique replay` can regenerate the identical inputs.
+    pub provenance: Option<(usize, usize, u64)>,
 }
 
 impl CifarLike {
@@ -71,6 +75,7 @@ impl CifarLike {
             images: Tensor::from_vec(n, 3, hw, hw, data),
             labels,
             n_classes,
+            provenance: Some((n, n_classes, seed)),
         }
     }
 

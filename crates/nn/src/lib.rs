@@ -26,7 +26,7 @@ pub mod layer;
 pub mod model;
 pub mod tensor;
 
-pub use arch::{simple_cnn, vgg16_cifar, ArchConfig};
+pub use arch::{simple_cnn, vgg16_cifar, ArchConfig, LayerSpec};
 pub use dataset::CifarLike;
 pub use layer::Layer;
 pub use model::Model;

@@ -1,0 +1,594 @@
+//! The workload audit journal: one structured, replayable record per engine
+//! entry point (logging, every diagnostic, fetches, reclaim), persisted as
+//! JSONL segments alongside the flight-recorder timeline.
+//!
+//! Where the timeline ([`crate::timeline`]) records *metric deltas*, the
+//! audit journal records *operations*: what was asked (operation name plus
+//! an argument fingerprint), what the engine decided (the plan of every
+//! inner fetch, in order), what it predicted, and what actually happened
+//! (latency, bytes and partitions touched, trace id). A captured journal is
+//! a complete workload description — `mistique replay` re-executes it
+//! against a fresh or existing store and checks the answers and plan
+//! choices bit-for-bit.
+//!
+//! Records are buffered and flushed in batches (every
+//! [`DEFAULT_FLUSH_EVERY`] records, at burst boundaries, and on engine
+//! drop) so steady-state capture stays off the query hot path. Segments use
+//! the same atomic rewrite + byte-bounded retention discipline as the
+//! recorder; all I/O is **best-effort** — a failed write counts an error
+//! and never fails the data operation that produced the record.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::time::SystemTime;
+
+use crate::export::push_json_string;
+use crate::json::{self, JsonValue};
+use crate::timeline::SegmentIo;
+
+/// Target size of one audit segment before the log seals it (each flush
+/// rewrites the current segment atomically, so this bounds per-flush write
+/// amplification).
+pub const DEFAULT_AUDIT_SEGMENT_TARGET: usize = 32 * 1024;
+
+/// Records buffered before an automatic flush. A crash can lose at most
+/// this many trailing records; the journal on disk stays loadable.
+pub const DEFAULT_FLUSH_EVERY: usize = 32;
+
+/// One audited engine operation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AuditRecord {
+    /// Monotone sequence number (continues across restarts).
+    pub seq: u64,
+    /// Unix timestamp in milliseconds.
+    pub t_ms: u64,
+    /// Entry point, dot-namespaced (`log`, `log_parallel`, `fetch.get`,
+    /// `fetch.rows`, `reclaim`, `register`, `diag.topk`, …).
+    pub op: String,
+    /// Argument fingerprint: enough key=value detail to re-execute the
+    /// operation (intermediate id, column, k, thresholds, row lists…).
+    pub args: BTreeMap<String, String>,
+    /// Plan chosen by every inner fetch, in execution order
+    /// (`read`/`rerun`/`cached`/`indexed_read`).
+    pub plans: Vec<String>,
+    /// Cost model's read-path prediction for the first inner fetch, seconds.
+    pub predicted_read_s: f64,
+    /// Cost model's rerun-path prediction for the first inner fetch, seconds.
+    pub predicted_rerun_s: f64,
+    /// Wall-clock latency of the whole entry point, nanoseconds.
+    pub actual_ns: u64,
+    /// Compressed bytes read from the DataStore while serving this op.
+    pub bytes: u64,
+    /// Partitions touched while serving this op.
+    pub partitions: u64,
+    /// Trace id of the outermost span (0 when none).
+    pub trace_id: u64,
+    /// Whether the operation returned `Ok`.
+    pub ok: bool,
+}
+
+impl AuditRecord {
+    /// Serialize as one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(160);
+        let _ = write!(
+            out,
+            "{{\"k\":\"au\",\"seq\":{},\"t_ms\":{},\"op\":",
+            self.seq, self.t_ms
+        );
+        push_json_string(&mut out, &self.op);
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in self.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, k);
+            out.push(':');
+            push_json_string(&mut out, v);
+        }
+        out.push_str("},\"plans\":[");
+        for (i, p) in self.plans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, p);
+        }
+        out.push_str("],");
+        push_audit_f64(&mut out, "pred_read_s", self.predicted_read_s);
+        out.push(',');
+        push_audit_f64(&mut out, "pred_rerun_s", self.predicted_rerun_s);
+        let _ = write!(
+            out,
+            ",\"actual_ns\":{},\"bytes\":{},\"parts\":{},\"trace\":{},\"ok\":{}}}",
+            self.actual_ns, self.bytes, self.partitions, self.trace_id, self.ok
+        );
+        out
+    }
+
+    /// Parse a JSONL line previously produced by
+    /// [`AuditRecord::to_json_line`]. Returns `None` for foreign records.
+    pub fn from_json(v: &JsonValue) -> Option<AuditRecord> {
+        if v.get("k")?.as_str()? != "au" {
+            return None;
+        }
+        let args = v
+            .get("args")?
+            .as_obj()?
+            .iter()
+            .filter_map(|(k, a)| Some((k.clone(), a.as_str()?.to_string())))
+            .collect();
+        let plans = v
+            .get("plans")?
+            .as_arr()?
+            .iter()
+            .filter_map(|p| p.as_str().map(str::to_string))
+            .collect();
+        Some(AuditRecord {
+            seq: v.get("seq")?.as_u64()?,
+            t_ms: v.get("t_ms")?.as_u64()?,
+            op: v.get("op")?.as_str()?.to_string(),
+            args,
+            plans,
+            predicted_read_s: v.get("pred_read_s").and_then(|x| x.as_f64()).unwrap_or(0.0),
+            predicted_rerun_s: v
+                .get("pred_rerun_s")
+                .and_then(|x| x.as_f64())
+                .unwrap_or(0.0),
+            actual_ns: v.get("actual_ns")?.as_u64()?,
+            bytes: v.get("bytes")?.as_u64()?,
+            partitions: v.get("parts")?.as_u64()?,
+            trace_id: v.get("trace")?.as_u64()?,
+            ok: v.get("ok")?.as_bool()?,
+        })
+    }
+}
+
+/// JSON has no NaN/Infinity; the audit journal maps them to null (parsed
+/// back as 0.0 — predictions are informational, not compared bit-for-bit).
+fn push_audit_f64(out: &mut String, key: &str, v: f64) {
+    let _ = write!(out, "\"{key}\":");
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Parse `au_XXXXXXXXXXXXXXXX.jsonl` names.
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("au_")?.strip_suffix(".jsonl")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+fn segment_name(first_seq: u64) -> String {
+    format!("au_{first_seq:016x}.jsonl")
+}
+
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Point-in-time audit-log statistics (mirrored into `audit.*` gauges by
+/// the engine after each flush).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AuditStats {
+    /// Records accepted (buffered or flushed).
+    pub records: u64,
+    /// Flushes that wrote at least one record.
+    pub flushes: u64,
+    /// Best-effort writes/removals that failed.
+    pub write_errors: u64,
+    /// Segments dropped by retention.
+    pub segments_dropped: u64,
+    /// Current total bytes across all segments.
+    pub total_bytes: u64,
+    /// Current number of segments.
+    pub segments: u64,
+    /// The sequence number the next record will get.
+    pub next_seq: u64,
+}
+
+/// The durable workload journal. One per open engine instance; all writes
+/// are best-effort (see module docs).
+pub struct AuditLog {
+    io: Box<dyn SegmentIo>,
+    budget_bytes: u64,
+    segment_target: usize,
+    flush_every: usize,
+    next_seq: u64,
+    /// Buffered content + name of the currently-open segment.
+    cur: (String, Option<String>),
+    pending: Vec<AuditRecord>,
+    sizes: BTreeMap<String, u64>,
+    stats: AuditStats,
+}
+
+impl AuditLog {
+    /// Open a journal over existing segments: sequence numbering continues
+    /// after the highest sequence found on disk, and retention accounting
+    /// picks up every existing segment. Scan errors are swallowed (the log
+    /// starts fresh, counting a write error) — auditing must never fail an
+    /// engine open.
+    pub fn open(io: Box<dyn SegmentIo>, budget_bytes: u64) -> AuditLog {
+        let target = DEFAULT_AUDIT_SEGMENT_TARGET.min((budget_bytes as usize / 4).max(512));
+        let mut log = AuditLog {
+            io,
+            budget_bytes,
+            segment_target: target,
+            flush_every: DEFAULT_FLUSH_EVERY,
+            next_seq: 0,
+            cur: (String::new(), None),
+            pending: Vec::new(),
+            sizes: BTreeMap::new(),
+            stats: AuditStats::default(),
+        };
+        match log.io.list() {
+            Ok(names) => {
+                for name in names {
+                    if parse_segment_name(&name).is_none() {
+                        // Sweep `.tmp` orphans from a crash mid-write; leave
+                        // other foreign files alone.
+                        if name.ends_with(".tmp") {
+                            let _ = log.io.remove(&name);
+                        }
+                        continue;
+                    }
+                    let len = log.io.read(&name).map(|b| b.len() as u64).unwrap_or(0);
+                    log.sizes.insert(name, len);
+                }
+                log.next_seq = log
+                    .sizes
+                    .keys()
+                    .filter_map(|n| {
+                        let first = parse_segment_name(n)?;
+                        let bytes = log.io.read(n).ok()?;
+                        let max_line_seq = String::from_utf8_lossy(&bytes)
+                            .lines()
+                            .filter_map(|l| json::parse(l).ok())
+                            .filter_map(|v| v.get("seq")?.as_u64())
+                            .max();
+                        Some(max_line_seq.unwrap_or(first))
+                    })
+                    .max()
+                    .map(|s| s + 1)
+                    .unwrap_or(0);
+            }
+            Err(_) => log.stats.write_errors += 1,
+        }
+        log.stats.segments = log.sizes.len() as u64;
+        log.stats.total_bytes = log.sizes.values().sum();
+        log.stats.next_seq = log.next_seq;
+        log
+    }
+
+    /// Override the segment rotation target (tests use tiny segments to
+    /// exercise retention).
+    pub fn set_segment_target(&mut self, bytes: usize) {
+        self.segment_target = bytes.max(1);
+    }
+
+    /// Override the flush batch size (1 flushes every record).
+    pub fn set_flush_every(&mut self, n: usize) {
+        self.flush_every = n.max(1);
+    }
+
+    /// Current journal statistics.
+    pub fn stats(&self) -> AuditStats {
+        self.stats
+    }
+
+    /// The configured retention budget in bytes.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Append a record: its `seq` and `t_ms` are stamped here; the record
+    /// is buffered and flushed with the next batch.
+    pub fn append(&mut self, mut record: AuditRecord) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.next_seq = self.next_seq;
+        self.stats.records += 1;
+        record.seq = seq;
+        if record.t_ms == 0 {
+            record.t_ms = unix_ms();
+        }
+        self.pending.push(record);
+        if self.pending.len() >= self.flush_every {
+            self.flush();
+        }
+        seq
+    }
+
+    /// Records buffered but not yet flushed to disk.
+    pub fn pending_records(&self) -> &[AuditRecord] {
+        &self.pending
+    }
+
+    /// Flush buffered records into the current segment (atomic rewrite),
+    /// sealing it at the target size and enforcing the retention budget.
+    /// Best-effort: a failed write keeps the buffered lines for the next
+    /// flush and counts one error.
+    pub fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let first_seq = self.pending[0].seq;
+        for rec in std::mem::take(&mut self.pending) {
+            self.cur.0.push_str(&rec.to_json_line());
+            self.cur.0.push('\n');
+        }
+        let name = self
+            .cur
+            .1
+            .get_or_insert_with(|| segment_name(first_seq))
+            .clone();
+        let buf = self.cur.0.clone();
+        match self.io.write_atomic(&name, buf.as_bytes()) {
+            Ok(()) => {
+                self.sizes.insert(name, buf.len() as u64);
+                self.stats.flushes += 1;
+            }
+            Err(_) => {
+                self.stats.write_errors += 1;
+                // Keep the buffer: the next flush rewrites the whole
+                // segment, so the lost lines ride along then.
+            }
+        }
+        if buf.len() >= self.segment_target {
+            self.cur.0.clear();
+            self.cur.1 = None;
+        }
+        self.enforce_budget();
+        self.stats.segments = self.sizes.len() as u64;
+        self.stats.total_bytes = self.sizes.values().sum();
+    }
+
+    /// Drop oldest segments until the ring fits the budget. The bound is
+    /// hard: even the current segment is dropped if it alone exceeds it.
+    fn enforce_budget(&mut self) {
+        loop {
+            let total: u64 = self.sizes.values().sum();
+            if total <= self.budget_bytes {
+                break;
+            }
+            let Some(oldest) = self
+                .sizes
+                .keys()
+                .filter_map(|n| parse_segment_name(n).map(|s| (s, n.clone())))
+                .min()
+                .map(|(_, n)| n)
+            else {
+                break;
+            };
+            if self.io.remove(&oldest).is_err() {
+                self.stats.write_errors += 1;
+                break; // avoid spinning when removal keeps failing
+            }
+            self.sizes.remove(&oldest);
+            self.stats.segments_dropped += 1;
+            if self.cur.1.as_deref() == Some(oldest.as_str()) {
+                self.cur.0.clear();
+                self.cur.1 = None;
+            }
+        }
+    }
+
+    /// Load every readable record, in sequence order. Unknown files are
+    /// skipped; within a segment, parsing stops at the first torn line.
+    pub fn load(io: &dyn SegmentIo) -> io::Result<Vec<AuditRecord>> {
+        let mut names: Vec<(u64, String)> = io
+            .list()?
+            .into_iter()
+            .filter_map(|n| parse_segment_name(&n).map(|s| (s, n)))
+            .collect();
+        names.sort();
+        let mut out = Vec::new();
+        for (_, name) in names {
+            let Ok(bytes) = io.read(&name) else { continue };
+            for line in String::from_utf8_lossy(&bytes).lines() {
+                let Ok(v) = json::parse(line) else { break };
+                if let Some(r) = AuditRecord::from_json(&v) {
+                    out.push(r);
+                }
+            }
+        }
+        out.sort_by_key(|r| r.seq);
+        Ok(out)
+    }
+}
+
+impl std::fmt::Debug for AuditLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuditLog")
+            .field("budget_bytes", &self.budget_bytes)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::MemSegmentIo;
+
+    fn sample(op: &str) -> AuditRecord {
+        AuditRecord {
+            seq: 0,
+            t_ms: 0,
+            op: op.to_string(),
+            args: [
+                ("interm".to_string(), "m1.stage3".to_string()),
+                ("k".to_string(), "5".to_string()),
+            ]
+            .into_iter()
+            .collect(),
+            plans: vec!["read".to_string(), "cached".to_string()],
+            predicted_read_s: 0.002,
+            predicted_rerun_s: 0.13,
+            actual_ns: 1_234_567,
+            bytes: 4096,
+            partitions: 2,
+            trace_id: 99,
+            ok: true,
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let mut r = sample("diag.topk");
+        r.seq = 42;
+        r.t_ms = 1_700_000_000_123;
+        let line = r.to_json_line();
+        let parsed = AuditRecord::from_json(&json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn nonfinite_predictions_become_zero() {
+        let mut r = sample("fetch.get");
+        r.predicted_read_s = f64::NAN;
+        r.predicted_rerun_s = f64::INFINITY;
+        let parsed = AuditRecord::from_json(&json::parse(&r.to_json_line()).unwrap()).unwrap();
+        assert_eq!(parsed.predicted_read_s, 0.0);
+        assert_eq!(parsed.predicted_rerun_s, 0.0);
+    }
+
+    #[test]
+    fn foreign_records_are_rejected() {
+        let v = json::parse("{\"k\":\"ev\",\"seq\":1}").unwrap();
+        assert!(AuditRecord::from_json(&v).is_none());
+        let v = json::parse("{\"seq\":1}").unwrap();
+        assert!(AuditRecord::from_json(&v).is_none());
+    }
+
+    #[test]
+    fn append_flush_load_round_trip() {
+        let io = MemSegmentIo::new();
+        let mut log = AuditLog::open(Box::new(io.clone()), 1 << 20);
+        log.set_flush_every(2);
+        log.append(sample("log"));
+        assert_eq!(log.pending_records().len(), 1, "below batch: buffered");
+        log.append(sample("fetch.get"));
+        assert!(log.pending_records().is_empty(), "batch flushed");
+        log.append(sample("reclaim"));
+        log.flush();
+        let recs = AuditLog::load(&io).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(
+            recs.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(recs[2].op, "reclaim");
+        assert_eq!(log.stats().records, 3);
+        assert!(log.stats().total_bytes > 0);
+    }
+
+    #[test]
+    fn sequence_numbering_continues_across_reopen() {
+        let io = MemSegmentIo::new();
+        {
+            let mut log = AuditLog::open(Box::new(io.clone()), 1 << 20);
+            log.append(sample("log"));
+            log.append(sample("fetch.get"));
+            log.flush();
+        }
+        let mut log = AuditLog::open(Box::new(io.clone()), 1 << 20);
+        assert_eq!(log.stats().next_seq, 2);
+        log.append(sample("diag.topk"));
+        log.flush();
+        let recs = AuditLog::load(&io).unwrap();
+        assert_eq!(
+            recs.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn retention_never_exceeds_the_budget() {
+        let io = MemSegmentIo::new();
+        let mut log = AuditLog::open(Box::new(io.clone()), 4096);
+        log.set_segment_target(512);
+        log.set_flush_every(1);
+        for _ in 0..100 {
+            log.append(sample("fetch.get"));
+            let total: u64 = io
+                .list()
+                .unwrap()
+                .iter()
+                .map(|n| io.read(n).unwrap().len() as u64)
+                .sum();
+            assert!(total <= 4096, "audit bytes {total} exceed budget");
+        }
+        assert!(log.stats().segments_dropped > 0);
+        // The survivors are the newest records, contiguous.
+        let recs = AuditLog::load(&io).unwrap();
+        assert!(!recs.is_empty());
+        assert_eq!(recs.last().unwrap().seq, 99);
+        for w in recs.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1);
+        }
+    }
+
+    #[test]
+    fn torn_trailing_line_is_ignored_on_load() {
+        let io = MemSegmentIo::new();
+        let mut log = AuditLog::open(Box::new(io.clone()), 1 << 20);
+        log.append(sample("log"));
+        log.append(sample("fetch.get"));
+        log.flush();
+        let name = io.list().unwrap()[0].clone();
+        let bytes = io.read(&name).unwrap();
+        io.write_atomic(&name, &bytes[..bytes.len() - 25]).unwrap();
+        let recs = AuditLog::load(&io).unwrap();
+        assert_eq!(recs.len(), 1, "torn tail dropped, valid prefix kept");
+        assert_eq!(recs[0].seq, 0);
+    }
+
+    #[test]
+    fn garbage_segments_do_not_poison_the_load() {
+        let io = MemSegmentIo::new();
+        io.write_atomic("au_0000000000000000.jsonl", b"not json\n")
+            .unwrap();
+        io.write_atomic("au_0000000000000003.jsonl.tmp", b"orphan")
+            .unwrap();
+        io.write_atomic("unrelated.txt", b"ignored").unwrap();
+        assert!(AuditLog::load(&io).unwrap().is_empty());
+        // Open sweeps the orphan and keeps numbering sane.
+        let log = AuditLog::open(Box::new(io.clone()), 1 << 20);
+        assert_eq!(log.stats().next_seq, 1, "unparseable segment anchors seq");
+        assert!(!io.list().unwrap().iter().any(|n| n.ends_with(".tmp")));
+    }
+
+    #[test]
+    fn failed_writes_keep_the_buffer_and_count_errors() {
+        // An io that always fails writes.
+        struct FailIo;
+        impl SegmentIo for FailIo {
+            fn list(&self) -> io::Result<Vec<String>> {
+                Ok(Vec::new())
+            }
+            fn read(&self, _: &str) -> io::Result<Vec<u8>> {
+                Err(io::Error::other("nope"))
+            }
+            fn write_atomic(&self, _: &str, _: &[u8]) -> io::Result<()> {
+                Err(io::Error::other("nope"))
+            }
+            fn remove(&self, _: &str) -> io::Result<()> {
+                Err(io::Error::other("nope"))
+            }
+        }
+        let mut log = AuditLog::open(Box::new(FailIo), 1 << 20);
+        log.set_flush_every(1);
+        log.append(sample("log"));
+        assert_eq!(log.stats().write_errors, 1);
+        assert_eq!(log.stats().records, 1, "record still counted");
+    }
+}

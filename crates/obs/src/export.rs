@@ -70,8 +70,8 @@ impl Snapshot {
             for (name, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "  {name:<w$}  n={} mean={:.1} p50={} p90={} p95={} p99={} max={}",
-                    h.count, h.mean, h.p50, h.p90, h.p95, h.p99, h.max
+                    "  {name:<w$}  n={} mean={:.1} p50={} p90={} p95={} p99={} p999={} max={}",
+                    h.count, h.mean, h.p50, h.p90, h.p95, h.p99, h.p999, h.max
                 );
             }
         }
@@ -136,8 +136,8 @@ impl Snapshot {
             push_f64(out, h.mean);
             let _ = write!(
                 out,
-                ",\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
-                h.p50, h.p90, h.p95, h.p99
+                ",\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{},\"p999\":{},\"buckets\":[",
+                h.p50, h.p90, h.p95, h.p99, h.p999
             );
             for (i, b) in h.buckets.iter().enumerate() {
                 if i > 0 {
@@ -206,25 +206,34 @@ impl Snapshot {
     /// Counters become `<name>_total` counter families, gauges map 1:1, and
     /// histograms expand into cumulative `_bucket{le="..."}` series plus
     /// `_sum` and `_count` (bucket bounds come from the log-linear buckets
-    /// actually hit, so the series is exact, not re-bucketed). Span
-    /// aggregates are duration histograms in disguise and are exported as
+    /// actually hit, so the series is exact, not re-bucketed), with `_p999`
+    /// and `_max` gauges carrying the tail. Span aggregates are duration
+    /// histograms in disguise and are exported as
     /// `<name>_duration_nanoseconds` summaries via gauges for the quantiles.
     /// Every name is prefixed `mistique_` and sanitized (dots become
-    /// underscores).
+    /// underscores); distinct metric names that sanitize to the same family
+    /// — possible with dynamically named per-codec metrics — are
+    /// disambiguated with a numeric suffix so the exposition always passes
+    /// [`validate_prometheus`] (which rejects duplicate TYPE declarations).
     pub fn render_prometheus(&self) -> String {
+        use std::collections::HashSet;
         let mut out = String::with_capacity(1024);
+        let mut seen: HashSet<String> = HashSet::new();
         for (name, v) in &self.counters {
-            let n = format!("{}_total", prom_name(name));
+            let n = unique_family(&mut seen, format!("{}_total", prom_name(name)));
+            let _ = writeln!(out, "# HELP {n} Counter `{name}`.");
             let _ = writeln!(out, "# TYPE {n} counter");
             let _ = writeln!(out, "{n} {v}");
         }
         for (name, v) in &self.gauges {
-            let n = prom_name(name);
+            let n = unique_family(&mut seen, prom_name(name));
+            let _ = writeln!(out, "# HELP {n} Gauge `{name}`.");
             let _ = writeln!(out, "# TYPE {n} gauge");
             let _ = writeln!(out, "{n} {}", prom_f64(*v));
         }
         for (name, h) in &self.histograms {
-            let n = prom_name(name);
+            let n = unique_family(&mut seen, prom_name(name));
+            let _ = writeln!(out, "# HELP {n} Histogram `{name}`.");
             let _ = writeln!(out, "# TYPE {n} histogram");
             let mut cum = 0u64;
             for b in &h.buckets {
@@ -234,18 +243,48 @@ impl Snapshot {
             let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
             let _ = writeln!(out, "{n}_sum {}", h.sum);
             let _ = writeln!(out, "{n}_count {}", h.count);
+            let p = unique_family(&mut seen, format!("{n}_p999"));
+            let _ = writeln!(out, "# HELP {p} 99.9th percentile of `{name}`.");
+            let _ = writeln!(out, "# TYPE {p} gauge");
+            let _ = writeln!(out, "{p} {}", h.p999);
+            let m = unique_family(&mut seen, format!("{n}_max"));
+            let _ = writeln!(out, "# HELP {m} Largest recorded value of `{name}`.");
+            let _ = writeln!(out, "# TYPE {m} gauge");
+            let _ = writeln!(out, "{m} {}", h.max);
         }
         for (name, s) in &self.spans {
-            let n = format!("{}_duration_nanoseconds", prom_name(name));
-            let _ = writeln!(out, "# TYPE {n}_count counter");
-            let _ = writeln!(out, "{n}_count {}", s.count);
-            let _ = writeln!(out, "# TYPE {n}_sum counter");
-            let _ = writeln!(out, "{n}_sum {}", s.total_ns);
-            let _ = writeln!(out, "# TYPE {n}_p99 gauge");
-            let _ = writeln!(out, "{n}_p99 {}", s.p99_ns);
+            let base = format!("{}_duration_nanoseconds", prom_name(name));
+            let nc = unique_family(&mut seen, format!("{base}_count"));
+            let _ = writeln!(out, "# HELP {nc} Completed `{name}` spans.");
+            let _ = writeln!(out, "# TYPE {nc} counter");
+            let _ = writeln!(out, "{nc} {}", s.count);
+            let ns = unique_family(&mut seen, format!("{base}_sum"));
+            let _ = writeln!(out, "# HELP {ns} Total `{name}` span duration.");
+            let _ = writeln!(out, "# TYPE {ns} counter");
+            let _ = writeln!(out, "{ns} {}", s.total_ns);
+            let np = unique_family(&mut seen, format!("{base}_p99"));
+            let _ = writeln!(out, "# HELP {np} 99th percentile `{name}` span duration.");
+            let _ = writeln!(out, "# TYPE {np} gauge");
+            let _ = writeln!(out, "{np} {}", s.p99_ns);
         }
         out
     }
+}
+
+/// Claim a family name, disambiguating sanitization collisions (two metric
+/// names mapping onto the same Prometheus name) with a `_2`, `_3`, …
+/// suffix. Registry maps are ordered, so the assignment is deterministic.
+fn unique_family(seen: &mut std::collections::HashSet<String>, want: String) -> String {
+    if seen.insert(want.clone()) {
+        return want;
+    }
+    for i in 2.. {
+        let candidate = format!("{want}_{i}");
+        if seen.insert(candidate.clone()) {
+            return candidate;
+        }
+    }
+    unreachable!("the suffix loop always terminates")
 }
 
 /// Map a metric name onto the Prometheus grammar
@@ -587,6 +626,51 @@ mod tests {
         assert!(text.contains("mistique_store_put_ns_sum"));
         assert!(text.contains("mistique_store_put_ns_count 5"));
         assert!(text.contains("mistique_fetch_read_duration_nanoseconds_count 1"));
+    }
+
+    #[test]
+    fn every_type_declaration_is_preceded_by_help() {
+        let text = populated().render_prometheus();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut families = 0;
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(decl) = line.strip_prefix("# TYPE ") {
+                families += 1;
+                let name = decl.split_whitespace().next().unwrap();
+                assert!(
+                    i > 0 && lines[i - 1].starts_with(&format!("# HELP {name} ")),
+                    "family {name} lacks a HELP line"
+                );
+            }
+        }
+        assert!(families >= 5, "expected one family per metric kind");
+    }
+
+    #[test]
+    fn sanitization_collisions_are_disambiguated() {
+        // Two distinct metric names that sanitize to the same Prometheus
+        // family (the shape dynamically named per-codec metrics can take)
+        // must not produce duplicate TYPE declarations.
+        let obs = Obs::new();
+        obs.gauge("read.codec.a-b.bytes").set(1.0);
+        obs.gauge("read.codec.a.b.bytes").set(2.0);
+        let text = obs.snapshot().render_prometheus();
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("mistique_read_codec_a_b_bytes 1"));
+        assert!(text.contains("mistique_read_codec_a_b_bytes_2 2"));
+    }
+
+    #[test]
+    fn histogram_tail_gauges_are_exported() {
+        let obs = Obs::new();
+        let h = obs.histogram("lat.ns");
+        for v in [10u64, 20, 30, 40, 5_000] {
+            h.record(v);
+        }
+        let text = obs.snapshot().render_prometheus();
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("# TYPE mistique_lat_ns_p999 gauge"));
+        assert!(text.contains("mistique_lat_ns_max 5000"));
     }
 
     #[test]

@@ -121,6 +121,8 @@ pub struct HistSummary {
     pub p95: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// 99.9th percentile (tail latency for SLO burn detection).
+    pub p999: u64,
     /// The non-empty buckets, in increasing `le` order (Prometheus
     /// exposition builds its cumulative `_bucket` series from these).
     pub buckets: Vec<HistBucket>,
@@ -240,6 +242,7 @@ impl Histogram {
             p90: self.percentile(0.90),
             p95: self.percentile(0.95),
             p99: self.percentile(0.99),
+            p999: self.percentile(0.999),
             buckets: self.nonzero_buckets(),
         }
     }
@@ -375,7 +378,13 @@ mod tests {
             h.record(v);
         }
         let s = h.summary();
-        assert!(s.p50 <= s.p90 && s.p90 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        assert!(
+            s.p50 <= s.p90
+                && s.p90 <= s.p95
+                && s.p95 <= s.p99
+                && s.p99 <= s.p999
+                && s.p999 <= s.max
+        );
     }
 
     #[test]

@@ -41,6 +41,14 @@ impl JsonValue {
         }
     }
 
+    /// Boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Number as `f64`.
     pub fn as_f64(&self) -> Option<f64> {
         match self {

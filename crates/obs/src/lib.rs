@@ -22,6 +22,7 @@
 //! println!("{}", obs.snapshot().render_text());
 //! ```
 
+mod audit;
 mod export;
 mod flame;
 mod hist;
@@ -33,6 +34,9 @@ mod span;
 mod timeline;
 pub mod tree;
 
+pub use audit::{
+    AuditLog, AuditRecord, AuditStats, DEFAULT_AUDIT_SEGMENT_TARGET, DEFAULT_FLUSH_EVERY,
+};
 pub use export::{validate_prometheus, Snapshot};
 pub use flame::folded_stacks;
 pub use hist::{HistBucket, HistSummary, Histogram};

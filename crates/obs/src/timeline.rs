@@ -111,6 +111,9 @@ pub struct HistPoint {
     pub p95: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// 99.9th percentile (absent in pre-existing journals; falls back to
+    /// `p99` on load).
+    pub p999: u64,
 }
 
 /// One delta snapshot: the metrics that changed since the previous point,
@@ -171,8 +174,8 @@ impl TimelinePoint {
             push_json_string(&mut out, name);
             let _ = write!(
                 out,
-                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
-                h.count, h.sum, h.min, h.max, h.p50, h.p95, h.p99
+                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{}}}",
+                h.count, h.sum, h.min, h.max, h.p50, h.p95, h.p99, h.p999
             );
         }
         out.push_str("}}");
@@ -202,6 +205,7 @@ impl TimelinePoint {
             .as_obj()?
             .iter()
             .filter_map(|(k, h)| {
+                let p99 = h.get("p99")?.as_u64()?;
                 Some((
                     k.clone(),
                     HistPoint {
@@ -211,7 +215,10 @@ impl TimelinePoint {
                         max: h.get("max")?.as_u64()?,
                         p50: h.get("p50")?.as_u64()?,
                         p95: h.get("p95")?.as_u64()?,
-                        p99: h.get("p99")?.as_u64()?,
+                        p99,
+                        // Journals written before p99.9 existed lack the
+                        // field; the p99 fallback keeps them loadable.
+                        p999: h.get("p999").and_then(|v| v.as_u64()).unwrap_or(p99),
                     },
                 ))
             })
@@ -459,6 +466,7 @@ impl FlightRecorder {
                         p50: h.p50,
                         p95: h.p95,
                         p99: h.p99,
+                        p999: h.p999,
                     },
                 );
             }
@@ -804,11 +812,22 @@ mod tests {
                 p50: 29,
                 p95: 60,
                 p99: 60,
+                p999: 60,
             },
         );
         let line = p.to_json_line();
         let parsed = TimelinePoint::from_json(&json::parse(&line).unwrap()).unwrap();
         assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn hist_points_without_p999_fall_back_to_p99() {
+        // A journal line written before p99.9 existed must still load.
+        let line = "{\"k\":\"pt\",\"seq\":1,\"t_ms\":5,\"reason\":\"log\",\"counters\":{},\
+                    \"gauges\":{},\"hists\":{\"h\":{\"count\":2,\"sum\":9,\"min\":1,\
+                    \"max\":8,\"p50\":4,\"p95\":8,\"p99\":8}}}";
+        let p = TimelinePoint::from_json(&json::parse(line).unwrap()).unwrap();
+        assert_eq!(p.hists["h"].p999, 8);
     }
 
     #[test]

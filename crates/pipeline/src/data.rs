@@ -29,6 +29,10 @@ pub struct ZillowData {
     pub train_csv: String,
     /// CSV text of `test`.
     pub test_csv: String,
+    /// The `(n_properties, seed)` this dataset was generated from, when it
+    /// came from [`ZillowData::generate`] — the workload audit journal
+    /// records it so `mistique replay` can regenerate the identical inputs.
+    pub provenance: Option<(usize, u64)>,
 }
 
 /// Region names used for the categorical `region` column.
@@ -143,6 +147,7 @@ impl ZillowData {
             properties_csv,
             train_csv,
             test_csv,
+            provenance: Some((n, seed)),
         }
     }
 

@@ -1,0 +1,108 @@
+//! Storage-backend adapter for the workload audit journal's segment ring.
+//!
+//! The audit journal (see `mistique_obs::AuditLog`) persists its segments
+//! through this adapter so every byte goes through the same
+//! [`StorageBackend`] — and therefore the same fault-injection harness — as
+//! partition data. Segments live in their own `audit/` subdirectory under
+//! the store directory; `list_dir` only reports direct-children files, so
+//! the data store's sweep, quarantine, and budget accounting never see
+//! them, and the flight recorder's `telemetry/` ring never mixes with them.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use mistique_obs::SegmentIo;
+
+use crate::backend::StorageBackend;
+
+/// Subdirectory of the store directory that holds audit segments.
+pub const AUDIT_SUBDIR: &str = "audit";
+
+/// [`SegmentIo`] over a [`StorageBackend`], rooted at `<store dir>/audit/`.
+#[derive(Debug, Clone)]
+pub struct AuditDir {
+    backend: Arc<dyn StorageBackend>,
+    dir: PathBuf,
+}
+
+impl AuditDir {
+    /// Create the adapter (and the `audit/` subdirectory) under `store_dir`.
+    pub fn create(backend: Arc<dyn StorageBackend>, store_dir: &Path) -> io::Result<AuditDir> {
+        let dir = store_dir.join(AUDIT_SUBDIR);
+        backend.create_dir_all(&dir)?;
+        Ok(AuditDir { backend, dir })
+    }
+
+    /// The adapter without creating the directory — for read-only loads of
+    /// a journal that may not exist ([`SegmentIo::list`] of a missing
+    /// directory reports no segments).
+    pub fn open_readonly(backend: Arc<dyn StorageBackend>, store_dir: &Path) -> AuditDir {
+        AuditDir {
+            backend,
+            dir: store_dir.join(AUDIT_SUBDIR),
+        }
+    }
+
+    /// The directory segments are stored in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl SegmentIo for AuditDir {
+    fn list(&self) -> io::Result<Vec<String>> {
+        if !self.backend.exists(&self.dir) {
+            return Ok(Vec::new());
+        }
+        Ok(self
+            .backend
+            .list_dir(&self.dir)?
+            .into_iter()
+            .filter_map(|p| p.file_name().map(|n| n.to_string_lossy().into_owned()))
+            .collect())
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.backend.read_file(&self.dir.join(name))
+    }
+
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.backend.write_atomic(&self.dir.join(name), bytes)
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        self.backend.remove_file(&self.dir.join(name))?;
+        self.backend.sync_dir(&self.dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::RealFs;
+
+    #[test]
+    fn round_trips_segments_under_the_store_dir() {
+        let tmp = tempfile::tempdir().unwrap();
+        let backend: Arc<dyn StorageBackend> = Arc::new(RealFs);
+        let io = AuditDir::create(Arc::clone(&backend), tmp.path()).unwrap();
+        assert!(io.list().unwrap().is_empty());
+        io.write_atomic("au_0000000000000000.jsonl", b"{}\n")
+            .unwrap();
+        assert_eq!(io.list().unwrap().len(), 1);
+        assert_eq!(io.read("au_0000000000000000.jsonl").unwrap(), b"{}\n");
+        io.remove("au_0000000000000000.jsonl").unwrap();
+        assert!(io.list().unwrap().is_empty());
+        // Segments are invisible to a listing of the store dir itself.
+        assert!(backend.list_dir(tmp.path()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn readonly_open_of_missing_dir_lists_nothing() {
+        let tmp = tempfile::tempdir().unwrap();
+        let backend: Arc<dyn StorageBackend> = Arc::new(RealFs);
+        let io = AuditDir::open_readonly(backend, &tmp.path().join("nope"));
+        assert!(io.list().unwrap().is_empty());
+    }
+}

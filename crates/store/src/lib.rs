@@ -17,6 +17,7 @@
 //! Reads go through the same facade: chunk key → digest → partition →
 //! (memory | disk) → deserialized [`mistique_dataframe::ColumnChunk`].
 
+pub mod audit_io;
 pub mod backend;
 pub mod datastore;
 pub mod disk;
@@ -26,6 +27,7 @@ pub mod mem;
 pub mod partition;
 pub mod telemetry_io;
 
+pub use audit_io::{AuditDir, AUDIT_SUBDIR};
 pub use backend::{FaultyFs, RealFs, StorageBackend, TornWrite};
 pub use datastore::{
     ChunkKey, CompactionReport, DataStore, DataStoreConfig, PlacementPolicy, ReadAttribution,
