@@ -35,7 +35,17 @@ fn main() {
     println!("# Read-path concurrency: cold read_stored, serial vs {workers} workers");
 
     let dir = tempfile::tempdir().unwrap();
-    let mut sys = Mistique::open(dir.path(), MistiqueConfig::default()).unwrap();
+    // Delta frames off: this bench isolates the parallel decode path, and
+    // its committed baseline predates base+delta storage. Delta rehydration
+    // cost has its own bench (delta_dedup) with its own read timings.
+    let config = MistiqueConfig {
+        datastore: mistique_store::DataStoreConfig {
+            delta_enabled: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut sys = Mistique::open(dir.path(), config).unwrap();
     let data = Arc::new(ZillowData::generate(rows, 1));
     let id = sys
         .register_trad(zillow_pipelines().remove(0), data)

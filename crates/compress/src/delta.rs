@@ -8,9 +8,12 @@
 use crate::varint;
 
 /// Encode `input` as width-`w` LE integer deltas. `input.len()` must be a
-/// multiple of `w`; returns `None` otherwise (caller falls back to raw).
+/// multiple of `w` and `w` one of 1/2/4/8; returns `None` otherwise (caller
+/// falls back to raw).
 pub fn compress(input: &[u8], w: usize) -> Option<Vec<u8>> {
-    assert!(matches!(w, 1 | 2 | 4 | 8), "unsupported width {w}");
+    if !matches!(w, 1 | 2 | 4 | 8) {
+        return None;
+    }
     if !input.len().is_multiple_of(w) {
         return None;
     }
@@ -28,7 +31,9 @@ pub fn compress(input: &[u8], w: usize) -> Option<Vec<u8>> {
 
 /// Decode a delta stream produced by [`compress`] with the same width.
 pub fn decompress(input: &[u8], w: usize) -> Option<Vec<u8>> {
-    assert!(matches!(w, 1 | 2 | 4 | 8), "unsupported width {w}");
+    if !matches!(w, 1 | 2 | 4 | 8) {
+        return None;
+    }
     let mut pos = 0;
     let n = varint::read_u64(input, &mut pos)? as usize;
     // Guard against absurd lengths from corrupt headers: a huge reservation
@@ -106,6 +111,16 @@ mod tests {
     #[test]
     fn misaligned_input_returns_none() {
         assert_eq!(compress(&[1, 2, 3], 2), None);
+    }
+
+    #[test]
+    fn unsupported_width_returns_none() {
+        // The documented contract: bad widths fall back to raw, they must
+        // not panic.
+        for w in [0usize, 3, 5, 6, 7, 16] {
+            assert_eq!(compress(&[0u8; 48], w), None, "compress width {w}");
+            assert_eq!(decompress(&[0u8; 48], w), None, "decompress width {w}");
+        }
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   DEFLATE) — wins on repeated byte patterns, and crucially its shared window is
 //!   what makes *co-locating similar ColumnChunks in one Partition* pay off,
 //! - [`delta`]: delta + zig-zag + varint for integer-like streams,
+//! - [`basedelta`]: base+delta frames — a chunk stored as the XOR difference
+//!   against a similar, already-stored chunk (cross-checkpoint dedup),
 //! - [`xorf`]: Gorilla-style XOR compression for f32 activation streams,
 //! - [`varint`]: LEB128 variable-length integers used by the other codecs,
 //! - [`frame`]: a self-describing container that records the scheme and original
@@ -18,6 +20,7 @@
 //! All codecs are lossless: `decompress(compress(x)) == x` for arbitrary bytes,
 //! enforced by the property tests.
 
+pub mod basedelta;
 pub mod bits;
 pub mod delta;
 pub mod frame;

@@ -7,8 +7,8 @@
 //! Deterministic by construction (fixed corpus + LCG), no proptest needed.
 
 use mistique_compress::{
-    compress, compress_auto, compress_auto_extended, decompress, delta, lzss, rle, varint, xorf,
-    CodecError, Scheme,
+    basedelta, compress, compress_auto, compress_auto_extended, decompress, delta, lzss, rle,
+    varint, xorf, CodecError, Scheme,
 };
 
 /// Simple LCG so the corpus is identical on every run.
@@ -181,6 +181,52 @@ fn frame_prefixes_always_error() {
 }
 
 #[test]
+fn basedelta_prefixes_always_rejected() {
+    // Each corpus entry doubles as its own perturbed twin: flip a few bytes
+    // so the XOR residual is sparse but non-trivial.
+    for input in corpus() {
+        let mut target = input.clone();
+        for (i, b) in target.iter_mut().enumerate() {
+            if i % 37 == 0 {
+                *b ^= 0x55;
+            }
+        }
+        let digest = (0x1234_5678_9abc_def0u64, 0x0fed_cba9_8765_4321u64);
+        let frame = basedelta::encode(&target, &input, digest);
+        assert!(basedelta::is_delta_frame(&frame));
+        assert_eq!(basedelta::decode(&frame, &input, digest).unwrap(), target);
+        // The header's triple length record (base/raw/inner) makes every
+        // strict prefix detectable — a torn delta frame can never decode.
+        for prefix in strict_prefixes(&frame) {
+            assert!(
+                basedelta::decode(prefix, &input, digest).is_err(),
+                "basedelta prefix {}-of-{} decoded",
+                prefix.len(),
+                frame.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn basedelta_wrong_base_always_rejected() {
+    let base = lcg_bytes(11, 256);
+    let mut target = base.clone();
+    target[13] ^= 0xff;
+    let digest = (42u64, 43u64);
+    let frame = basedelta::encode(&target, &base, digest);
+
+    // Wrong digest — a stale or remapped base — must be refused outright.
+    assert!(basedelta::decode(&frame, &base, (42, 44)).is_err());
+    // Right digest but different base bytes: the base-length check catches a
+    // length change; same-length corruption is the digest's job upstream.
+    let short_base = &base[..128];
+    assert!(basedelta::decode(&frame, short_base, digest).is_err());
+    // Untouched frame with the true base still round-trips.
+    assert_eq!(basedelta::decode(&frame, &base, digest).unwrap(), target);
+}
+
+#[test]
 fn absurd_length_headers_fail_without_allocating() {
     // Corrupt headers declaring astronomically large outputs must return an
     // error, not reserve memory first. If any of these tried to allocate,
@@ -226,6 +272,7 @@ fn random_garbage_decodes_are_total() {
         }
         let _ = xorf::decompress(&garbage);
         let _ = decompress(&garbage);
+        let _ = basedelta::decode(&garbage, &garbage, (0, 0));
         let mut pos = 0;
         let _ = varint::read_u64(&garbage, &mut pos);
     }

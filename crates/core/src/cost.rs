@@ -259,6 +259,7 @@ mod tests {
             quantizer: None,
             threshold: None,
             shape: None,
+            delta_encoded: false,
         }
     }
 

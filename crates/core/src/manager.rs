@@ -7,12 +7,16 @@
 //! query count — and takes one step down the demotion ladder:
 //!
 //! ```text
-//! FULL → LP_QT → 8BIT_QT → THRESHOLD_QT → purged
+//! FULL → LP_QT → 8BIT_QT → THRESHOLD_QT → DELTA → purged
 //! ```
 //!
 //! Each demotion re-encodes the stored values under the cheaper scheme and
 //! overwrites the same chunk keys (the displaced bytes become dead chunks in
-//! their partitions). A purge retracts every chunk and flips
+//! their partitions). The DELTA rung keeps the THRESHOLD_QT scheme but asks
+//! the store to re-store each chunk as a base+delta frame against a similar
+//! stored chunk ([`mistique_store::DataStore::reencode_as_delta`]) — answers
+//! stay bit-identical, only the physical bytes shrink; it runs at most once
+//! per materialization. A purge retracts every chunk and flips
 //! `materialized = false`: future queries transparently re-run the model and
 //! may re-promote the intermediate through the ordinary γ test. When the
 //! accounting is back under budget the pass compacts partitions whose
@@ -144,9 +148,10 @@ impl Mistique {
             }
         }
         if budget_bytes > 0 {
-            // Ladder is finite (≤ 4 steps per intermediate), but keep a hard
+            // Ladder is finite (≤ 5 steps per intermediate: three scheme
+            // demotions, one delta re-encode, one purge), but keep a hard
             // cap so a pathological accounting bug cannot spin forever.
-            let mut steps_left = self.meta.n_intermediates() * 4 + 8;
+            let mut steps_left = self.meta.n_intermediates() * 6 + 8;
             while self.storage_budget_used() > budget_bytes && steps_left > 0 {
                 steps_left -= 1;
                 let Some((victim, gamma)) = self.coldest_materialized() else {
@@ -161,6 +166,22 @@ impl Mistique {
                             intermediate: victim,
                             from: before.scheme.value.name(),
                             to: next.name(),
+                            bytes_before: before.stored_bytes,
+                            bytes_after,
+                            gamma,
+                        });
+                    }
+                    // One rung below THRESHOLD_QT and above purge: re-encode
+                    // the binarized chunks as base+delta frames against
+                    // similar stored chunks. The flag flips even when no
+                    // chunk wins, so the ladder cannot revisit this rung.
+                    None if !before.delta_encoded && self.store.delta_enabled() => {
+                        let bytes_after = self.reencode_delta(&victim)?;
+                        self.obs.counter("adaptive.demotions").inc();
+                        demotions.push(DemotionRecord {
+                            intermediate: victim,
+                            from: before.scheme.value.name(),
+                            to: "DELTA".to_string(),
                             bytes_before: before.stored_bytes,
                             bytes_after,
                             gamma,
@@ -248,6 +269,8 @@ impl Mistique {
         for d in &report.demotions {
             let kind = if d.to == "PURGED" {
                 "reclaim.purge"
+            } else if d.to == "DELTA" {
+                "reclaim.delta"
             } else if d.from == "INDEX" {
                 "reclaim.index_drop"
             } else {
@@ -470,6 +493,39 @@ impl Mistique {
         Ok(bytes)
     }
 
+    /// Re-encode every chunk of an intermediate as a base+delta frame where
+    /// the store finds a similar enough base and the frame wins — the
+    /// reclaim rung between THRESHOLD_QT and purge. Keys, schemes, and read
+    /// answers are untouched (rehydration is transparent); only the physical
+    /// representation shrinks. Returns the summed stored bytes afterwards.
+    fn reencode_delta(&mut self, intermediate_id: &str) -> Result<u64, MistiqueError> {
+        let meta = self.meta.intermediate(intermediate_id).unwrap().clone();
+        let mut sp = mistique_obs::span!(self.obs, "reclaim.delta", interm = intermediate_id);
+        // Cached query results hold decoded values; they stay correct, but
+        // invalidating keeps the cache's byte accounting honest with the
+        // relocated chunks.
+        self.qcache.invalidate(intermediate_id);
+        let blocks = meta.n_rows.div_ceil(self.config.row_block_size).max(1);
+        let mut bytes = 0u64;
+        for column in &meta.columns {
+            for block in 0..blocks {
+                let key = ChunkKey::new(intermediate_id, column, block as u32);
+                match self.store.reencode_as_delta(&key) {
+                    Ok(len) => bytes += len,
+                    // Ragged intermediates may miss trailing blocks.
+                    Err(mistique_store::StoreError::NotFound) => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        let m = self.meta.intermediate_mut(intermediate_id).unwrap();
+        m.delta_encoded = true;
+        m.stored_bytes = bytes;
+        sp.attr("bytes_after", bytes);
+        sp.finish();
+        Ok(bytes)
+    }
+
     /// Purge a materialized intermediate: retract every chunk from the store
     /// and flip `materialized = false`. Future fetches transparently re-run
     /// the model, and the ordinary γ test may re-promote it. The last stored
@@ -490,6 +546,8 @@ impl Mistique {
         m.materialized = false;
         m.quantizer = None;
         m.threshold = None;
+        // A re-materialized copy starts raw; the ladder may delta it again.
+        m.delta_encoded = false;
         // An index over purged data is pure garbage; drop it with the data.
         self.index_drop(intermediate_id);
         sp.attr("bytes_released", outcome.bytes_released);

@@ -68,6 +68,11 @@ pub struct IntermediateMeta {
     pub threshold: Option<f32>,
     /// Post-pooling activation geometry `(channels, h, w)` for DNN layers.
     pub shape: Option<(usize, usize, usize)>,
+    /// Whether the reclaim ladder already re-encoded this intermediate's
+    /// chunks as base+delta frames (the rung between THRESHOLD and purge);
+    /// re-encoding is attempted at most once per materialization.
+    #[serde(default)]
+    pub delta_encoded: bool,
 }
 
 impl IntermediateMeta {
@@ -183,6 +188,7 @@ mod tests {
             quantizer: None,
             threshold: None,
             shape: None,
+            delta_encoded: false,
         }
     }
 

@@ -169,7 +169,8 @@ impl QueryReport {
 }
 
 /// One ladder action taken by a reclaim pass: an intermediate demoted to a
-/// cheaper value scheme, or purged outright (`to == "PURGED"`).
+/// cheaper value scheme, re-encoded as base+delta frames (`to == "DELTA"`),
+/// or purged outright (`to == "PURGED"`).
 #[derive(Clone, Debug)]
 pub struct DemotionRecord {
     /// The intermediate acted on.
@@ -249,7 +250,13 @@ impl ReclaimReport {
             let _ = writeln!(
                 out,
                 "  {:<8} : {}  {} -> {}  ({} B -> {} B, gamma {:.3e})",
-                if d.to == "PURGED" { "purge" } else { "demote" },
+                if d.to == "PURGED" {
+                    "purge"
+                } else if d.to == "DELTA" {
+                    "delta"
+                } else {
+                    "demote"
+                },
                 d.intermediate,
                 d.from,
                 d.to,

@@ -145,7 +145,7 @@ impl MistiqueConfig {
     pub fn fingerprint(&self) -> String {
         let ds = &self.datastore;
         format!(
-            "rb={} storage={} capture={} policy={} mem={} part={} minhash={} bands={} bin={} rcache={} qcache={} rpar={} minrb={} budget={} topm={}",
+            "rb={} storage={} capture={} policy={} mem={} part={} minhash={} bands={} bin={} rcache={} qcache={} rpar={} minrb={} budget={} topm={} delta={} dtau={}",
             self.row_block_size,
             format!("{:?}", self.storage).replace(' ', ""),
             self.dnn_capture.name(),
@@ -161,6 +161,8 @@ impl MistiqueConfig {
             self.min_read_bytes_per_worker,
             self.storage_budget_bytes,
             self.index_top_m,
+            ds.delta_enabled,
+            ds.delta_tau,
         )
     }
 
@@ -734,6 +736,7 @@ impl Mistique {
                 quantizer: None,
                 threshold: None,
                 shape: None,
+                delta_encoded: false,
             });
             if materialize {
                 // Index the decoded values a scan would see (TRAD stores at
@@ -911,6 +914,7 @@ impl Mistique {
                 quantizer: quantizers[li].take(),
                 threshold: thresholds[li],
                 shape: Some(shapes[li]),
+                delta_encoded: false,
             });
         }
         // Metadata is registered; finalize and persist the per-layer

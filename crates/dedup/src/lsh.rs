@@ -109,6 +109,31 @@ impl LshIndex {
         }
         best
     }
+
+    /// Every candidate with estimated Jaccard >= `tau`, most similar first
+    /// (ties broken by ascending id, so the ranking is deterministic).
+    /// Callers that must reject some matches — e.g. the DataStore skipping
+    /// sealed partitions or delta bases whose chunks are gone — walk this
+    /// list instead of settling for [`LshIndex::query_best`]'s single answer.
+    pub fn query_ranked(&self, sig: &Signature, tau: f64) -> Vec<(u64, f64)> {
+        let mut out: Vec<(u64, f64)> = self
+            .candidates(sig)
+            .into_iter()
+            .map(|id| (id, self.signatures[&id].jaccard_estimate(sig)))
+            .filter(|&(_, est)| est >= tau)
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Every indexed item with its stored signature rows — what the
+    /// DataStore persists in its catalog so similarity clustering survives
+    /// a reopen. Unordered; callers sort by id for determinism.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[u64])> + '_ {
+        self.signatures
+            .iter()
+            .map(|(&id, sig)| (id, sig.0.as_slice()))
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +205,28 @@ mod tests {
     fn wrong_signature_length_panics() {
         let mut idx = LshIndex::new(8, 4);
         idx.insert(1, Signature(vec![0; 16]));
+    }
+
+    #[test]
+    fn ranked_query_orders_by_similarity() {
+        let h = MinHasher::new(128);
+        let mut idx = LshIndex::new(32, 4);
+        let base: Vec<u64> = (0..1000).collect();
+        let near: Vec<u64> = (10..1010).collect();
+        let mid: Vec<u64> = (150..1150).collect();
+        idx.insert(1, sig_of(&h, &near));
+        idx.insert(2, sig_of(&h, &mid));
+        let ranked = idx.query_ranked(&sig_of(&h, &base), 0.2);
+        assert!(!ranked.is_empty());
+        assert_eq!(ranked[0].0, 1, "closest item first");
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1, "descending similarity");
+        }
+        let items: Vec<u64> = idx.iter().map(|(id, _)| id).collect();
+        assert_eq!(items.len(), 2);
+        for (_, sig) in idx.iter() {
+            assert_eq!(sig.len(), idx.signature_len());
+        }
     }
 
     #[test]

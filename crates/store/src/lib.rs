@@ -30,8 +30,8 @@ pub mod telemetry_io;
 pub use audit_io::{AuditDir, AUDIT_SUBDIR};
 pub use backend::{FaultyFs, RealFs, StorageBackend, TornWrite};
 pub use datastore::{
-    ChunkKey, CompactionReport, DataStore, DataStoreConfig, PlacementPolicy, ReadAttribution,
-    RecoveryReport, RetractOutcome, StoreStats,
+    CatalogExtra, ChunkKey, CompactionReport, DataStore, DataStoreConfig, DeltaRecord,
+    LshItemRecord, PlacementPolicy, ReadAttribution, RecoveryReport, RetractOutcome, StoreStats,
 };
 pub use disk::DiskStore;
 pub use index_io::{IndexDir, INDEX_SUBDIR};

@@ -25,6 +25,12 @@ fn store_config() -> DataStoreConfig {
         // Large enough that each intermediate's four chunks share one
         // partition (sealed by flush, not by the size trigger).
         partition_target_bytes: 8192,
+        // Keep chunks raw so retracting `m.i0` makes its partition fully
+        // dead: a delta put would pin one of its chunks as a base and turn
+        // the remove path into a rewrite. Crash points with delta frames and
+        // pinned bases in play are enumerated in `tests/delta_crash.rs` of
+        // the core crate.
+        delta_enabled: false,
         ..DataStoreConfig::default()
     }
 }

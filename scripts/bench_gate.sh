@@ -46,6 +46,19 @@ awk -v s="$topk_speedup" 'BEGIN {
   printf "OK: indexed top-k %.1fx over the scan\n", s
 }'
 
+# Delta-dedup smoke: always runs (no baseline needed). The bin asserts the
+# sweep's reads come back bit-identical at read_parallelism 1/2/4/0 and that
+# the reduction clears 1.5x; the gate re-checks the snapshot so a bin that
+# silently stopped asserting still fails here.
+echo "== delta_dedup bench smoke (4 layers x 4096 values x 6 epochs) =="
+MISTIQUE_BENCH_DIR="$smoke" cargo run --release -q -p mistique-bench --bin delta_dedup -- \
+  --layers 4 --values 4096 --epochs 6
+delta_ratio=$(val "$smoke/BENCH_delta_dedup.json" bench.delta_dedup.ratio)
+awk -v r="$delta_ratio" 'BEGIN {
+  if (r + 0 <= 1) { print "FAIL: base+delta frames did not reduce stored bytes"; exit 1 }
+  printf "OK: delta store %.2fx smaller than raw\n", r
+}'
+
 # Capture/replay smoke: always runs (no baseline needed). `demo` captures a
 # mixed TRAD/DNN workload into the audit journal; `replay --differential`
 # re-executes it at read_parallelism 1/2/4/0 and exits nonzero unless every

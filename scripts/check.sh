@@ -33,6 +33,7 @@ cargo test -q -p mistique-core --test parallel_read
 cargo test -q -p mistique-core --test index_equivalence
 cargo test -q -p mistique-core --test index_crash
 cargo test -q -p mistique-core --test audit_crash
+cargo test -q -p mistique-core --test delta_crash
 cargo test -q -p mistique-core --test query_cache
 cargo test -q -p mistique-index
 cargo test -q -p mistique-obs

@@ -5,6 +5,7 @@
 
 use std::time::Duration;
 
+use mistique_compress::basedelta;
 use mistique_core::capture::{decode_column, encode_batch, pool_batch, CaptureScheme, ValueScheme};
 use mistique_core::metadata::{IntermediateMeta, ModelKind, ModelMeta};
 use mistique_core::CostModel;
@@ -155,6 +156,7 @@ proptest! {
             quantizer: None,
             threshold: None,
             shape: None,
+            delta_encoded: false,
         };
         let n2 = n1 + extra;
         prop_assert!(cm.t_read(&meta, n2) >= cm.t_read(&meta, n1));
@@ -196,6 +198,7 @@ proptest! {
             quantizer: None,
             threshold: None,
             shape: None,
+            delta_encoded: false,
         };
         let should = cm.should_read(&model, &meta, n);
         prop_assert_eq!(should, cm.t_rerun(&model, &meta, n) >= cm.t_read(&meta, n));
@@ -438,5 +441,65 @@ proptest! {
                 }
             }
         }
+    }
+
+    // Base+delta frames are bit-exact for arbitrary target/base byte pairs,
+    // including length mismatches in either direction (the XOR residual
+    // passes the tail through past the shorter stream).
+    #[test]
+    fn basedelta_roundtrip_arbitrary_bytes(
+        target in proptest::collection::vec(any::<u8>(), 0..600),
+        base in proptest::collection::vec(any::<u8>(), 0..600),
+        digest in (any::<u64>(), any::<u64>()),
+    ) {
+        let frame = basedelta::encode(&target, &base, digest);
+        prop_assert!(basedelta::is_delta_frame(&frame));
+        prop_assert_eq!(basedelta::base_digest_of(&frame), Some(digest));
+        prop_assert_eq!(basedelta::decode(&frame, &base, digest).unwrap(), target);
+    }
+
+    // Float payloads with NaN / ±inf survive the delta frame bit for bit —
+    // the codec works on raw bytes, so no float semantics can leak in.
+    #[test]
+    fn basedelta_roundtrip_float_specials(
+        vals in proptest::collection::vec(
+            prop_oneof![
+                5 => -1e30f32..1e30,
+                1 => Just(f32::NAN),
+                1 => Just(f32::INFINITY),
+                1 => Just(f32::NEG_INFINITY),
+                1 => Just(-0.0f32),
+            ],
+            1..200,
+        ),
+        flip_every in 1..32usize,
+    ) {
+        let base: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut target = base.clone();
+        for (i, b) in target.iter_mut().enumerate() {
+            if i % flip_every == 0 {
+                *b = b.wrapping_add(1);
+            }
+        }
+        let digest = (7u64, 9u64);
+        let frame = basedelta::encode(&target, &base, digest);
+        prop_assert_eq!(basedelta::decode(&frame, &base, digest).unwrap(), target);
+    }
+
+    // A frame never decodes against the wrong base: a different digest is
+    // refused, and a base of a different length is refused.
+    #[test]
+    fn basedelta_wrong_base_rejected(
+        target in proptest::collection::vec(any::<u8>(), 1..300),
+        base in proptest::collection::vec(any::<u8>(), 1..300),
+        digest in (any::<u64>(), any::<u64>()),
+        other in (any::<u64>(), any::<u64>()),
+    ) {
+        let frame = basedelta::encode(&target, &base, digest);
+        if other != digest {
+            prop_assert!(basedelta::decode(&frame, &base, other).is_err());
+        }
+        let truncated_base = &base[..base.len() - 1];
+        prop_assert!(basedelta::decode(&frame, truncated_base, digest).is_err());
     }
 }

@@ -175,6 +175,110 @@ fn purged_intermediate_reruns_and_repromotes() {
 }
 
 #[test]
+fn ladder_tries_delta_reencode_before_purging() {
+    let (_d, mut sys) = trad_system(StorageStrategy::Dedup, 3);
+    // An impossible budget walks every intermediate all the way down; on
+    // the way each one must pass the DELTA rung exactly once, after
+    // THRESHOLD_QT and before its purge.
+    let report = sys.reclaim_to(1).unwrap();
+    let deltas: Vec<_> = report
+        .demotions
+        .iter()
+        .filter(|d| d.to == "DELTA")
+        .collect();
+    assert!(
+        !deltas.is_empty(),
+        "ladder must try delta re-encode before purging: {}",
+        report.render()
+    );
+    for d in &deltas {
+        assert_eq!(d.from, "THRESHOLD_QT", "delta rung sits below threshold");
+        let i_delta = report
+            .demotions
+            .iter()
+            .position(|x| x.to == "DELTA" && x.intermediate == d.intermediate)
+            .unwrap();
+        let i_purge = report
+            .demotions
+            .iter()
+            .position(|x| x.to == "PURGED" && x.intermediate == d.intermediate)
+            .expect("budget of 1 byte purges everything");
+        assert!(i_delta < i_purge, "delta re-encode precedes the purge");
+    }
+    // A purge resets the flag so a re-materialized copy can try again.
+    for d in &deltas {
+        assert!(
+            !sys.metadata()
+                .intermediate(&d.intermediate)
+                .unwrap()
+                .delta_encoded
+        );
+    }
+    assert!(report.render().contains("delta"));
+}
+
+#[test]
+fn delta_rung_keeps_threshold_reads_bit_identical() {
+    let (_d, mut sys) = trad_system(StorageStrategy::Dedup, 2);
+    // Walk every intermediate to the bottom scheme so the next reclaim step
+    // for any victim is the delta rung.
+    let interms: Vec<String> = sys
+        .model_ids()
+        .iter()
+        .flat_map(|m| sys.intermediates_of(m))
+        .collect();
+    for i in &interms {
+        while sys.demote_one_step(i).unwrap().is_some() {}
+    }
+    let mut expected = Vec::new();
+    for i in &interms {
+        let f = sys
+            .fetch_with_strategy(i, None, None, FetchStrategy::Read)
+            .unwrap()
+            .frame;
+        expected.push((i.clone(), f));
+    }
+
+    let used = sys.storage_budget_used();
+    let report = sys.reclaim_to(used - used / 8).unwrap();
+    // Index drops come first (cheapest bytes); the first *data* step must be
+    // the delta rung, since every victim already sits at THRESHOLD_QT.
+    assert_eq!(
+        report
+            .demotions
+            .iter()
+            .find(|d| d.from != "INDEX")
+            .map(|d| d.to.as_str()),
+        Some("DELTA"),
+        "every victim sits at THRESHOLD_QT, so the first data step is the delta rung: {}",
+        report.render()
+    );
+    // Intermediates the pass re-encoded carry the flag (reclaim stops as soon
+    // as the budget is met, so untouched survivors legitimately don't; a
+    // victim purged later in the same pass has its flag reset with the purge).
+    for d in report.demotions.iter().filter(|d| d.to == "DELTA") {
+        let m = sys.metadata().intermediate(&d.intermediate).unwrap();
+        assert!(
+            m.delta_encoded || !m.materialized,
+            "{} was delta re-encoded but its flag is unset",
+            d.intermediate
+        );
+    }
+    // Whatever the pass did — delta re-encodes, purges — surviving
+    // intermediates must read back bit-identically.
+    for (i, frame) in &expected {
+        if !sys.metadata().intermediate(i).unwrap().materialized {
+            continue;
+        }
+        let got = sys
+            .fetch_with_strategy(i, None, None, FetchStrategy::Read)
+            .unwrap()
+            .frame;
+        assert_eq!(&got, frame, "delta re-encode changed the bytes of {i}");
+    }
+}
+
+#[test]
 fn reclaim_reports_ring_and_obs_counters() {
     let (_d, mut sys) = trad_system(StorageStrategy::Dedup, 2);
     let used = sys.storage_budget_used();
